@@ -1,0 +1,126 @@
+// Command counterbench runs the reproduction experiments (E1-E12 in
+// DESIGN.md) and prints their tables, regenerating the contents of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	counterbench                 # run every experiment at full size
+//	counterbench -exp E4,E5      # run a subset
+//	counterbench -quick          # reduced sizes (seconds, not minutes)
+//	counterbench -list           # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"monotonic/internal/experiments"
+	"monotonic/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
+		quick = flag.Bool("quick", false, "run reduced problem sizes")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		md    = flag.Bool("md", false, "emit a complete EXPERIMENTS.md (claims + tables + interpretation)")
+		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "counterbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *md {
+		printHeader(cfg)
+	}
+	for _, e := range selected {
+		var tables []*harness.Table
+		if *md {
+			tables = experiments.RunAndPrintMarkdown(os.Stdout, e, cfg)
+		} else {
+			tables = experiments.RunAndPrint(os.Stdout, e, cfg)
+		}
+		if *csv != "" {
+			for i, t := range tables {
+				name := fmt.Sprintf("%s-%d-%s.csv", e.ID, i+1, slug(t.Title))
+				path := filepath.Join(*csv, name)
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+// slug converts a table title into a safe file-name fragment.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('-')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// printHeader emits the EXPERIMENTS.md front matter.
+func printHeader(cfg experiments.Config) {
+	sizes := "full"
+	if cfg.Quick {
+		sizes = "quick (reduced)"
+	}
+	fmt.Printf(`# EXPERIMENTS — paper vs measured
+
+Reproduction experiments for Thornley & Chandy, "Monotonic Counters: A New
+Mechanism for Thread Synchronization" (IPPS 2000). The paper's evaluation
+is qualitative — worked examples, synchronization patterns, determinacy
+theorems, and complexity claims; it reports no machine-measured numbers —
+so each experiment below reproduces the corresponding figure, listing, or
+claim and checks that the *shape* holds: who wins, what scales with what,
+which programs are deterministic. The experiment IDs match DESIGN.md's
+index; regenerate this file with
+
+    go run ./cmd/counterbench -md > EXPERIMENTS.md
+
+Environment: Go %s, %s, GOMAXPROCS=%d (single-CPU host — see E4/E5 notes
+and the E13 multiprocessor model). Problem sizes: %s.
+
+`, runtime.Version(), runtime.GOARCH, runtime.GOMAXPROCS(0), sizes)
+}

@@ -1,0 +1,65 @@
+// Command countertrace replays operation scripts against the reference
+// counter's waiting-list structure and prints the state after each step —
+// the tool that regenerates the paper's Figure 2.
+//
+// With no arguments it replays Figure 2 exactly. A script may be given as
+// arguments: "check L" suspends a simulated thread at level L, "inc A"
+// increments by A, "resume L" resumes one woken thread at level L.
+//
+// Usage:
+//
+//	countertrace
+//	countertrace check 5 check 9 check 5 inc 7 resume 5 resume 5
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"monotonic/internal/core"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{
+			"check", "5", "check", "9", "check", "5",
+			"inc", "7", "resume", "5", "resume", "5",
+		}
+		fmt.Println("(no script given: replaying the paper's Figure 2)")
+	}
+
+	s := core.NewSim()
+	fmt.Printf("%-14s %s\n", "construction", s.Snapshot())
+	for i := 0; i+1 < len(args); i += 2 {
+		op, argStr := args[i], args[i+1]
+		arg, err := strconv.ParseUint(argStr, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "countertrace: bad operand %q\n", argStr)
+			os.Exit(2)
+		}
+		label := op + "(" + argStr + ")"
+		switch op {
+		case "check":
+			if !s.Check(arg) {
+				label += " [passed]"
+			} else {
+				label += " [suspended]"
+			}
+		case "inc":
+			s.Increment(arg)
+		case "resume":
+			if !s.Resume(arg) {
+				label += " [nobody]"
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "countertrace: unknown op %q (want check|inc|resume)\n", op)
+			os.Exit(2)
+		}
+		fmt.Printf("%-14s %s\n", label, s.Snapshot())
+	}
+	if len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "countertrace: trailing op without operand ignored")
+	}
+}

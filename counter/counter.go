@@ -1,0 +1,99 @@
+// Package counter provides monotonic counters, the thread-synchronization
+// mechanism of Thornley and Chandy ("Monotonic Counters: A New Mechanism
+// for Thread Synchronization", IPPS 2000). It is the public face of this
+// repository; the implementations live in internal/core.
+//
+// A Counter has a nonnegative value, initially zero, that only ever
+// increases. Increment(amount) atomically adds to it; Check(level) blocks
+// until the value is at least level. Because the value is monotonic there
+// is no way for a Check to miss an Increment, so programs that guard their
+// shared data with counter operations synchronize deterministically, and
+// multithreaded execution is equivalent to sequential execution whenever
+// sequential execution does not deadlock (paper, section 6).
+//
+// One counter can stand in for an array of condition variables or a
+// barrier: it maintains one suspension queue per distinct level currently
+// waited on, so storage and wake cost scale with the number of distinct
+// levels, not with the number of waiting goroutines (paper, section 7).
+//
+// Typical dataflow use — a writer publishing a sequence to any number of
+// independent readers through one counter:
+//
+//	var ready counter.Counter
+//	// writer:
+//	for i := range data {
+//		data[i] = produce(i)
+//		ready.Increment(1)
+//	}
+//	// each reader:
+//	for i := range data {
+//		ready.Check(uint64(i) + 1)
+//		consume(data[i])
+//	}
+//
+// Deliberately, there is no Decrement and no way to read the instantaneous
+// value: a decision based on a momentary value would reintroduce the
+// timing races counters exist to eliminate.
+//
+// # Memory model
+//
+// In the terminology of the Go memory model, the n-th call to Increment
+// on a counter is synchronized before the return of any Check(level) with
+// level reached by that increment. Data written before an Increment is
+// therefore visible to every goroutine whose Check that increment (or any
+// later one) satisfies, with no additional synchronization — the counter
+// is the memory fence for the data it gates, which is what makes the
+// paper's publish-then-increment patterns sound.
+package counter
+
+import (
+	"context"
+	"time"
+
+	"monotonic/internal/core"
+)
+
+// Counter is a monotonic counter. The zero value is ready to use with
+// value zero. A Counter must not be copied after first use.
+//
+// Counter embeds the reference implementation from the paper's section 7:
+// a mutex plus an ordered list of per-level waiter nodes, each with its own
+// condition variable.
+type Counter struct {
+	c core.Counter
+}
+
+// New returns a new counter with value zero. Equivalent to new(Counter).
+func New() *Counter { return new(Counter) }
+
+// Increment atomically increases the counter's value by amount, waking
+// every goroutine suspended on a level the new value satisfies.
+// Increment(0) is a no-op. Increment panics if the value would overflow
+// uint64, since wrap-around would violate monotonicity.
+func (c *Counter) Increment(amount uint64) { c.c.Increment(amount) }
+
+// Check suspends the calling goroutine until the counter's value is at
+// least level. If the value already satisfies level, Check returns
+// immediately. Because the value is monotonic, once Check(level) would
+// pass it passes forever: there is no race to observe a transient state.
+func (c *Counter) Check(level uint64) { c.c.Check(level) }
+
+// CheckContext is Check with cancellation: it returns nil once the value
+// reaches level, or ctx.Err() if the context is cancelled first. This is
+// an extension beyond the paper; cancellation does not perturb the counter.
+func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
+	return c.c.CheckContext(ctx, level)
+}
+
+// WaitTimeout is Check bounded by a timeout, reporting whether the level
+// was reached. An extension beyond the paper.
+func (c *Counter) WaitTimeout(level uint64, d time.Duration) bool {
+	return core.WaitTimeout(&c.c, level, d)
+}
+
+// Reset sets the value back to zero so the counter can be reused between
+// phases of an algorithm. Per the paper (section 2), Reset must not be
+// called concurrently with any other operation on the counter; it panics
+// if goroutines are suspended on the counter. Reset is a convenience, not
+// a synchronization operation.
+func (c *Counter) Reset() { c.c.Reset() }

@@ -1,0 +1,120 @@
+package counter_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c counter.Counter
+	c.Check(0) // must not block
+	c.Increment(3)
+	c.Check(3)
+}
+
+func TestNewEquivalentToZeroValue(t *testing.T) {
+	c := counter.New()
+	done := make(chan struct{})
+	go func() {
+		c.Check(2)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Increment(2)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Check never released")
+	}
+}
+
+func TestCheckContext(t *testing.T) {
+	var c counter.Counter
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(ctx, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	var c counter.Counter
+	if c.WaitTimeout(1, 20*time.Millisecond) {
+		t.Fatal("timeout reported success")
+	}
+	c.Increment(1)
+	if !c.WaitTimeout(1, 5*time.Second) {
+		t.Fatal("satisfied wait reported failure")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c counter.Counter
+	c.Increment(10)
+	c.Reset()
+	if c.WaitTimeout(1, 10*time.Millisecond) {
+		t.Fatal("value nonzero after Reset")
+	}
+}
+
+// ExampleCounter demonstrates the writer/readers broadcast from the
+// package documentation.
+func ExampleCounter() {
+	const n = 5
+	data := make([]int, n)
+	var ready counter.Counter
+	var wg sync.WaitGroup
+
+	// Two independent readers, each seeing the whole sequence.
+	results := make([][]int, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				ready.Check(uint64(i) + 1)
+				results[r] = append(results[r], data[i])
+			}
+		}(r)
+	}
+
+	// One writer publishing items in order.
+	for i := 0; i < n; i++ {
+		data[i] = i * i
+		ready.Increment(1)
+	}
+	wg.Wait()
+	fmt.Println(results[0])
+	fmt.Println(results[1])
+	// Output:
+	// [0 1 4 9 16]
+	// [0 1 4 9 16]
+}
+
+// ExampleCounter_ordering demonstrates mutual exclusion with sequential
+// ordering (paper section 5.2): the counter forces index order.
+func ExampleCounter_ordering() {
+	var order []int
+	var c counter.Counter
+	var wg sync.WaitGroup
+	for i := 4; i >= 0; i-- { // start in reverse to show reordering
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Check(uint64(i))
+			order = append(order, i)
+			c.Increment(1)
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println(order)
+	// Output: [0 1 2 3 4]
+}

@@ -1,0 +1,10 @@
+// Package monotonic is a reproduction of Thornley and Chandy, "Monotonic
+// Counters: A New Mechanism for Thread Synchronization" (IPPS 2000).
+//
+// Import monotonic/counter for the public API. See README.md for the
+// architecture, DESIGN.md for the system inventory and experiment index,
+// and EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every experiment table; run them with
+//
+//	go test -bench=. -benchmem .
+package monotonic

@@ -1,0 +1,91 @@
+// Ordered sum: the paper's section 5.2 — mutual exclusion with
+// sequential ordering.
+//
+// Floating-point addition is not associative, so a lock-based parallel
+// sum returns different results run to run. Replacing the lock pair with
+// a counter pair makes the accumulation order deterministic: the result
+// is bit-identical to the sequential sum on every run. Run with:
+//
+//	go run ./examples/orderedsum
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"monotonic/counter"
+)
+
+const n = 64
+
+func main() {
+	// Values spanning wild magnitudes, so order visibly changes the sum.
+	rng := rand.New(rand.NewSource(5))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = (rng.Float64() - 0.5) * float64(int64(1)<<uint(rng.Intn(50)))
+	}
+
+	seq := 0.0
+	for _, v := range values {
+		seq += v
+	}
+
+	lockResults := map[float64]int{}
+	counterResults := map[float64]int{}
+	for trial := 0; trial < 100; trial++ {
+		lockResults[lockSum(values)]++
+		counterResults[counterSum(values)]++
+	}
+
+	fmt.Printf("sequential sum:        %.17g\n", seq)
+	fmt.Printf("lock-based (100 runs):    %d distinct result(s)\n", len(lockResults))
+	fmt.Printf("counter-based (100 runs): %d distinct result(s)\n", len(counterResults))
+	for v := range counterResults {
+		fmt.Printf("counter result:        %.17g (equals sequential: %v)\n", v, v == seq)
+	}
+}
+
+// lockSum: maximal concurrency, nondeterministic accumulation order.
+func lockSum(values []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sum := 0.0
+	for i := range values {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := values[i] // "compute" the subresult...
+			for y := rand.Intn(8); y > 0; y-- {
+				runtime.Gosched() // ...taking a thread-dependent amount of time
+			}
+			mu.Lock()
+			sum += v
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}
+
+// counterSum: the pair of lock operations replaced by a pair of counter
+// operations — thread i accumulates only when the counter reaches i.
+func counterSum(values []float64) float64 {
+	var c counter.Counter
+	var wg sync.WaitGroup
+	sum := 0.0
+	for i := range values {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := values[i]
+			c.Check(uint64(i))
+			sum += v
+			c.Increment(1)
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}

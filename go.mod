@@ -1,0 +1,3 @@
+module monotonic
+
+go 1.22

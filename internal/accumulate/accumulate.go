@@ -1,0 +1,177 @@
+// Package accumulate implements the paper's section 5.2 pattern: a result
+// accumulated from independently computed subresults, where the
+// Accumulate operation is not associative (floating-point addition, list
+// append), so the order of accumulation determines the result.
+//
+// Two engines are provided. LockFold is the traditional program: a lock
+// provides mutual exclusion, and subresults are folded in nondeterministic
+// arrival order. OrderedFold replaces the pair of lock operations with a
+// pair of counter operations — Check(i) to enter, Increment(1) to leave —
+// providing sequential ordering in addition to mutual exclusion, so the
+// result is deterministic and equal to the sequential fold. (The paper's
+// listing ends the critical section with "resultCount.Check(1)", an
+// obvious typographical slip for Increment(1).)
+package accumulate
+
+import (
+	"monotonic/internal/core"
+	"monotonic/internal/sthreads"
+	"monotonic/internal/sync2"
+	"monotonic/internal/workload"
+)
+
+// LockFold computes compute(i) for i in [0,n) on concurrent threads and
+// folds the subresults into zero under a mutual-exclusion lock, in
+// whatever order the threads reach the critical section. jitterSeed, if
+// nonzero, adds a random spin before each accumulation to vary arrival
+// order, modelling unequal compute times.
+func LockFold[S, R any](n int, compute func(i int) S, fold func(R, S) R, zero R, jitterSeed uint64) R {
+	result := zero
+	var lock sync2.TicketLock
+	jitters := makeJitters(n, jitterSeed)
+	sthreads.ForN(sthreads.Concurrent, n, func(i int) {
+		sub := compute(i)
+		jitters.apply(i)
+		lock.Lock()
+		result = fold(result, sub)
+		lock.Unlock()
+	})
+	return result
+}
+
+// OrderedFold is the counter program: thread i may accumulate only once
+// the counter has reached i, and releases thread i+1 by incrementing, so
+// accumulation happens in exactly index order regardless of scheduling.
+// In Sequential mode it degenerates to a plain loop — the two modes must
+// agree bit-for-bit (the section 6 equivalence property holds for this
+// program).
+func OrderedFold[S, R any](mode sthreads.Mode, n int, compute func(i int) S, fold func(R, S) R, zero R, jitterSeed uint64) R {
+	result := zero
+	resultCount := core.New()
+	jitters := makeJitters(n, jitterSeed)
+	sthreads.ForN(mode, n, func(i int) {
+		sub := compute(i)
+		jitters.apply(i)
+		resultCount.Check(uint64(i))
+		result = fold(result, sub)
+		resultCount.Increment(1)
+	})
+	return result
+}
+
+// jitterPlan gives each thread a random compute delay: a spin (models
+// unequal work) plus explicit scheduler yields (so arrival order varies
+// even under GOMAXPROCS=1, where spinning alone never deschedules).
+type jitterPlan struct {
+	spins  []int
+	yields []int
+}
+
+func makeJitters(n int, seed uint64) jitterPlan {
+	if seed == 0 {
+		return jitterPlan{}
+	}
+	rng := workload.NewRNG(seed)
+	p := jitterPlan{spins: make([]int, n), yields: make([]int, n)}
+	for i := 0; i < n; i++ {
+		p.spins[i] = rng.Intn(20000)
+		p.yields[i] = rng.Intn(16)
+	}
+	return p
+}
+
+func (p jitterPlan) apply(i int) {
+	if p.spins == nil {
+		return
+	}
+	workload.Spin(p.spins[i])
+	workload.Yield(p.yields[i])
+}
+
+// SeqFold is the sequential oracle: a plain left fold.
+func SeqFold[S, R any](n int, compute func(i int) S, fold func(R, S) R, zero R) R {
+	result := zero
+	for i := 0; i < n; i++ {
+		result = fold(result, compute(i))
+	}
+	return result
+}
+
+// SumValues returns a fixture of floats spanning many magnitudes, so that
+// summation order visibly changes the rounded result (float addition is
+// not associative).
+func SumValues(n int, seed uint64) []float64 {
+	rng := workload.NewRNG(seed)
+	v := make([]float64, n)
+	for i := range v {
+		// Alternate huge and tiny magnitudes.
+		mag := float64(int64(1) << uint(rng.Intn(50)))
+		v[i] = (rng.Float64() - 0.5) * mag
+	}
+	return v
+}
+
+// SumLock folds values with the lock engine.
+func SumLock(values []float64, jitterSeed uint64) float64 {
+	return LockFold(len(values), func(i int) float64 { return values[i] },
+		func(a, x float64) float64 { return a + x }, 0, jitterSeed)
+}
+
+// SumCounter folds values with the counter engine.
+func SumCounter(mode sthreads.Mode, values []float64, jitterSeed uint64) float64 {
+	return OrderedFold(mode, len(values), func(i int) float64 { return values[i] },
+		func(a, x float64) float64 { return a + x }, 0, jitterSeed)
+}
+
+// SumSeq is the sequential oracle for summation.
+func SumSeq(values []float64) float64 {
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s
+}
+
+// AppendLock builds a list of thread indices with the lock engine: a
+// valid but order-nondeterministic permutation of [0,n).
+func AppendLock(n int, jitterSeed uint64) []int {
+	return LockFold(n, func(i int) int { return i },
+		func(acc []int, x int) []int { return append(acc, x) }, []int(nil), jitterSeed)
+}
+
+// AppendCounter builds the list with the counter engine: always exactly
+// 0,1,...,n-1.
+func AppendCounter(mode sthreads.Mode, n int, jitterSeed uint64) []int {
+	return OrderedFold(mode, n, func(i int) int { return i },
+		func(acc []int, x int) []int { return append(acc, x) }, []int(nil), jitterSeed)
+}
+
+// PermutationSums enumerates the sums of all permutations of values
+// (len(values) must be small) and returns the set of distinct results.
+// It is the oracle for "the lock program's answer is always the fold of
+// some arrival order".
+func PermutationSums(values []float64) map[float64]bool {
+	out := make(map[float64]bool)
+	perm := make([]int, len(values))
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			s := 0.0
+			for _, idx := range perm {
+				s += values[idx]
+			}
+			out[s] = true
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}

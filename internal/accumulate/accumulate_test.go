@@ -1,0 +1,151 @@
+package accumulate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"monotonic/internal/sthreads"
+)
+
+// TestCounterSumDeterministic is half of experiment E6: the counter
+// program returns the bit-exact sequential fold on every run, under
+// arbitrary jitter.
+func TestCounterSumDeterministic(t *testing.T) {
+	values := SumValues(64, 1)
+	want := SumSeq(values)
+	for trial := 0; trial < 50; trial++ {
+		got := SumCounter(sthreads.Concurrent, values, uint64(trial))
+		if got != want {
+			t.Fatalf("trial %d: counter sum %v != sequential %v", trial, got, want)
+		}
+	}
+}
+
+// TestCounterSumSequentialEquivalence: Concurrent and Sequential modes of
+// the counter program agree bit-for-bit (section 6 property, E9).
+func TestCounterSumSequentialEquivalence(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%32) + 1
+		values := SumValues(n, seed)
+		seq := SumCounter(sthreads.Sequential, values, seed)
+		con := SumCounter(sthreads.Concurrent, values, seed)
+		return seq == con && seq == SumSeq(values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumOrderSensitive confirms the fixture actually makes addition
+// order matter — otherwise the determinism comparison is vacuous.
+func TestSumOrderSensitive(t *testing.T) {
+	values := SumValues(7, 3)
+	sums := PermutationSums(values)
+	if len(sums) < 2 {
+		t.Fatalf("all %d permutations of fixture sum identically; fixture too tame", 5040)
+	}
+}
+
+// TestLockSumIsSomePermutation: the lock program's answer is always the
+// fold of some arrival order — mutual exclusion holds even though order
+// does not.
+func TestLockSumIsSomePermutation(t *testing.T) {
+	values := SumValues(6, 9)
+	sums := PermutationSums(values)
+	for trial := 0; trial < 25; trial++ {
+		got := SumLock(values, uint64(trial+1))
+		if !sums[got] {
+			t.Fatalf("trial %d: lock sum %v is not any permutation fold", trial, got)
+		}
+	}
+}
+
+// TestLockSumNondeterministic demonstrates the other half of E6: across
+// many jittered runs the lock program produces more than one distinct
+// result. (With 8 threads of random arrival order and an order-sensitive
+// fixture, the probability of seeing a single result in 400 runs is
+// negligible.)
+func TestLockSumNondeterministic(t *testing.T) {
+	values := SumValues(8, 5)
+	seen := make(map[float64]bool)
+	for trial := 0; trial < 400 && len(seen) < 2; trial++ {
+		seen[SumLock(values, uint64(trial+1))] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("lock-based summation produced one result in 400 jittered runs; nondeterminism not observed")
+	}
+}
+
+// TestCounterAppendIsIdentity: the counter list is always 0..n-1.
+func TestCounterAppendIsIdentity(t *testing.T) {
+	for _, mode := range sthreads.Modes {
+		for trial := 0; trial < 20; trial++ {
+			got := AppendCounter(mode, 32, uint64(trial))
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("mode %v trial %d: position %d holds %d", mode, trial, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestLockAppendIsPermutation: the lock list is a permutation (mutual
+// exclusion loses no element) though not necessarily ordered.
+func TestLockAppendIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 24
+		got := AppendLock(n, seed)
+		if len(got) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockAppendNondeterministic: across jittered runs the arrival order
+// varies.
+func TestLockAppendNondeterministic(t *testing.T) {
+	seen := make(map[string]bool)
+	for trial := 0; trial < 400 && len(seen) < 2; trial++ {
+		got := AppendLock(8, uint64(trial+1))
+		key := ""
+		for _, v := range got {
+			key += string(rune('a' + v))
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("lock-based append produced one order in 400 jittered runs")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := SumCounter(sthreads.Concurrent, nil, 0); got != 0 {
+		t.Fatalf("empty sum = %v", got)
+	}
+	if got := SumLock([]float64{42}, 1); got != 42 {
+		t.Fatalf("single lock sum = %v", got)
+	}
+	if got := AppendCounter(sthreads.Concurrent, 0, 0); len(got) != 0 {
+		t.Fatalf("empty append = %v", got)
+	}
+}
+
+func TestSeqFoldGeneric(t *testing.T) {
+	got := SeqFold(4, func(i int) string { return string(rune('a' + i)) },
+		func(acc, s string) string { return acc + s }, "")
+	if got != "abcd" {
+		t.Fatalf("SeqFold = %q", got)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// AtomicCounter is the reference list design augmented with a lock-free
+// fast path: Check loads the value with a single atomic read and returns
+// without taking the mutex when the level is already satisfied. Because the
+// value is monotonic, a stale read can only under-estimate it, so a
+// satisfied fast-path read is always safe; an unsatisfied read falls
+// through to the locked slow path, which re-checks under the mutex before
+// suspending. This is the ablation quantifying how much of counter overhead
+// is the mutex on the already-satisfied path (experiment E11).
+//
+// The zero value is a valid counter with value zero.
+type AtomicCounter struct {
+	value atomic.Uint64 // published after the list update; monotonic
+
+	mu      sync.Mutex
+	head    *node
+	waiters int
+}
+
+// NewAtomic returns an AtomicCounter with value zero.
+func NewAtomic() *AtomicCounter { return new(AtomicCounter) }
+
+// Increment implements Interface.
+func (c *AtomicCounter) Increment(amount uint64) {
+	c.mu.Lock()
+	v := checkedAdd(c.value.Load(), amount)
+	// Publish before broadcasting so a fast-path reader that raced past
+	// the mutex observes the new value no later than woken waiters do.
+	c.value.Store(v)
+	for n := c.head; n != nil && n.level <= v; n = n.next {
+		if !n.set {
+			n.set = true
+			n.cond.Broadcast()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Check implements Interface.
+func (c *AtomicCounter) Check(level uint64) {
+	if level <= c.value.Load() {
+		return // fast path: already satisfied, no lock
+	}
+	c.mu.Lock()
+	if level <= c.value.Load() {
+		c.mu.Unlock()
+		return
+	}
+	n := c.join(level)
+	for !n.set {
+		n.cond.Wait()
+	}
+	c.leave(n)
+	c.mu.Unlock()
+}
+
+// CheckContext implements Interface.
+func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if level <= c.value.Load() {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.mu.Lock()
+	if level <= c.value.Load() {
+		c.mu.Unlock()
+		return nil
+	}
+	n := c.join(level)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			c.mu.Lock()
+			n.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	for !n.set && ctx.Err() == nil {
+		n.cond.Wait()
+	}
+	close(stop)
+	var err error
+	if !n.set {
+		err = ctx.Err()
+	}
+	c.leave(n)
+	c.mu.Unlock()
+	return err
+}
+
+// join and leave mirror Counter's list bookkeeping. Called with c.mu held.
+func (c *AtomicCounter) join(level uint64) *node {
+	p := &c.head
+	for *p != nil && (*p).level < level {
+		p = &(*p).next
+	}
+	var n *node
+	if *p != nil && (*p).level == level && !(*p).set {
+		n = *p
+	} else {
+		n = &node{level: level, next: *p}
+		n.cond.L = &c.mu
+		*p = n
+	}
+	n.count++
+	c.waiters++
+	return n
+}
+
+func (c *AtomicCounter) leave(n *node) {
+	n.count--
+	c.waiters--
+	if n.count == 0 {
+		for p := &c.head; *p != nil; p = &(*p).next {
+			if *p == n {
+				*p = n.next
+				n.next = nil
+				break
+			}
+		}
+	}
+}
+
+// Reset implements Interface.
+func (c *AtomicCounter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waiters != 0 || c.head != nil {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.value.Store(0)
+}
+
+// Value implements Interface. For inspection and testing only.
+func (c *AtomicCounter) Value() uint64 { return c.value.Load() }
+
+var _ Interface = (*AtomicCounter)(nil)

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// BroadcastCounter is the naive baseline the paper's cost analysis argues
+// against: one condition variable for the whole counter, a full broadcast
+// on every increment, and every waiter re-checking its own level after
+// every wake. Wake cost is proportional to the total number of waiting
+// goroutines (the thundering herd), not to the number of satisfied levels.
+// It exists as the comparison point for the E10/E11 cost experiments.
+//
+// The zero value is a valid counter with value zero.
+type BroadcastCounter struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	once    sync.Once
+	value   uint64
+	waiters int
+	wakes   uint64 // cumulative waiter wake-ups (each re-check after a broadcast)
+}
+
+// NewBroadcast returns a BroadcastCounter with value zero.
+func NewBroadcast() *BroadcastCounter { return new(BroadcastCounter) }
+
+func (c *BroadcastCounter) init() {
+	c.once.Do(func() { c.cond.L = &c.mu })
+}
+
+// Increment implements Interface.
+func (c *BroadcastCounter) Increment(amount uint64) {
+	c.init()
+	c.mu.Lock()
+	c.value = checkedAdd(c.value, amount)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Check implements Interface.
+func (c *BroadcastCounter) Check(level uint64) {
+	c.init()
+	c.mu.Lock()
+	if level > c.value {
+		c.waiters++
+		for level > c.value {
+			c.cond.Wait()
+			c.wakes++
+		}
+		c.waiters--
+	}
+	c.mu.Unlock()
+}
+
+// CheckContext implements Interface.
+func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.init()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if level <= c.value {
+		return nil
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	c.waiters++
+	for level > c.value && ctx.Err() == nil {
+		c.cond.Wait()
+		c.wakes++
+	}
+	c.waiters--
+	close(stop)
+	if level > c.value {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Reset implements Interface.
+func (c *BroadcastCounter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waiters != 0 {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.value = 0
+}
+
+// Value implements Interface. For inspection and testing only.
+func (c *BroadcastCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// Wakes reports the cumulative number of waiter wake-ups; with W waiters
+// and I increments this grows as O(W*I), the cost the per-level designs
+// avoid.
+func (c *BroadcastCounter) Wakes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wakes
+}
+
+var _ Interface = (*BroadcastCounter)(nil)

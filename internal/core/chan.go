@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// ChanCounter is the idiomatic-Go translation of the monotonic counter:
+// each distinct waited-on level owns a channel, Check blocks receiving from
+// it, and Increment broadcasts by closing the channels of the levels it
+// satisfies. Closing a channel releases every receiver at once, so — like
+// the reference design — wake cost is proportional to the number of
+// distinct satisfied levels, not to the number of waiting goroutines.
+// Context cancellation falls out naturally from select, with no watcher
+// goroutine.
+//
+// The zero value is a valid counter with value zero.
+type ChanCounter struct {
+	mu     sync.Mutex
+	value  uint64
+	levels map[uint64]chan struct{} // level -> close-on-satisfy channel
+}
+
+// NewChan returns a ChanCounter with value zero.
+func NewChan() *ChanCounter { return new(ChanCounter) }
+
+// Increment implements Interface.
+func (c *ChanCounter) Increment(amount uint64) {
+	c.mu.Lock()
+	old := c.value
+	c.value = checkedAdd(c.value, amount)
+	if c.levels != nil {
+		for level, ch := range c.levels {
+			if level > old && level <= c.value {
+				close(ch)
+				delete(c.levels, level)
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Check implements Interface.
+func (c *ChanCounter) Check(level uint64) {
+	if ch := c.gate(level); ch != nil {
+		<-ch
+	}
+}
+
+// CheckContext implements Interface.
+func (c *ChanCounter) CheckContext(ctx context.Context, level uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ch := c.gate(level)
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// gate returns the channel to wait on for level, or nil if the level is
+// already satisfied. Note that abandoned levels (all waiters cancelled)
+// keep their map entry until satisfied; entries are O(distinct levels) and
+// are reclaimed by the increment that passes them, which keeps gate
+// allocation-free on the satisfied path.
+func (c *ChanCounter) gate(level uint64) chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if level <= c.value {
+		return nil
+	}
+	if c.levels == nil {
+		c.levels = make(map[uint64]chan struct{})
+	}
+	ch, ok := c.levels[level]
+	if !ok {
+		ch = make(chan struct{})
+		c.levels[level] = ch
+	}
+	return ch
+}
+
+// Reset implements Interface. Because waiters hold no registration beyond
+// the level channel, Reset panics if any level channel is still live.
+func (c *ChanCounter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.levels) != 0 {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.value = 0
+}
+
+// Value implements Interface. For inspection and testing only.
+func (c *ChanCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// LiveLevels reports the number of distinct levels currently waited on
+// (including abandoned ones not yet passed). For tests of the cost model.
+func (c *ChanCounter) LiveLevels() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.levels)
+}
+
+var _ Interface = (*ChanCounter)(nil)

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Counter is the reference monotonic-counter implementation, following
+// section 7 of the paper: a mutex protects a nonnegative value and an
+// ordered singly-linked list of waiter nodes. Each node represents one
+// distinct level on which goroutines are suspended and carries its own
+// condition variable, so an Increment wakes exactly the levels it
+// satisfies. Storage and the time complexity of Increment and Check are
+// proportional to the number of distinct levels with waiters, not to the
+// total number of waiting goroutines.
+//
+// The zero value is a valid counter with value zero.
+type Counter struct {
+	mu      sync.Mutex
+	value   uint64
+	head    *node // ascending by level; a satisfied ("set") prefix may linger while draining
+	waiters int   // total suspended goroutines, for Reset misuse detection
+
+	// Cost-model instrumentation (section 7 claims). Updated under mu.
+	stats Stats
+}
+
+// node is one suspension queue: all goroutines waiting for the same level.
+// It mirrors the four-field structure of the paper's Figure 2: a level, a
+// count of waiting threads, a condition variable with its "set" flag, and a
+// link to the next node.
+type node struct {
+	level uint64
+	count int
+	set   bool
+	cond  sync.Cond
+	next  *node
+}
+
+// Stats are cumulative cost-model measurements for one counter.
+type Stats struct {
+	// PeakLevels is the maximum number of list nodes (distinct waited-on
+	// levels) ever present at once.
+	PeakLevels int
+	// Broadcasts counts condition-variable broadcasts issued by
+	// Increment; the paper's design issues one per satisfied level.
+	Broadcasts uint64
+	// Suspends counts Check calls that actually blocked.
+	Suspends uint64
+	// ImmediateChecks counts Check calls satisfied without blocking.
+	ImmediateChecks uint64
+	// Increments counts Increment calls (including Increment(0)).
+	Increments uint64
+}
+
+// New returns a counter with value zero. Equivalent to new(Counter); it
+// exists for symmetry with the other implementations' constructors.
+func New() *Counter { return new(Counter) }
+
+// Increment implements Interface.
+func (c *Counter) Increment(amount uint64) {
+	c.mu.Lock()
+	c.value = checkedAdd(c.value, amount)
+	c.stats.Increments++
+	// Mark the satisfied prefix. Nodes stay linked until their last
+	// waiter drains (matching the structure shown in Figure 2 (e)-(g));
+	// already-set nodes from a previous increment are skipped.
+	for n := c.head; n != nil && n.level <= c.value; n = n.next {
+		if !n.set {
+			n.set = true
+			n.cond.Broadcast()
+			c.stats.Broadcasts++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Check implements Interface.
+func (c *Counter) Check(level uint64) {
+	c.mu.Lock()
+	if level <= c.value {
+		c.stats.ImmediateChecks++
+		c.mu.Unlock()
+		return
+	}
+	n := c.join(level)
+	for !n.set {
+		n.cond.Wait()
+	}
+	c.leave(n)
+	c.mu.Unlock()
+}
+
+// CheckContext implements Interface.
+func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.mu.Lock()
+	if level <= c.value {
+		c.stats.ImmediateChecks++
+		c.mu.Unlock()
+		return nil
+	}
+	n := c.join(level)
+	// sync.Cond cannot select on a channel, so a watcher goroutine turns
+	// context cancellation into a broadcast. The stop channel bounds the
+	// watcher's lifetime to this call.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			c.mu.Lock()
+			n.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	for !n.set && ctx.Err() == nil {
+		n.cond.Wait()
+	}
+	close(stop)
+	var err error
+	if !n.set {
+		err = ctx.Err()
+	}
+	c.leave(n)
+	c.mu.Unlock()
+	return err
+}
+
+// join finds or inserts the node for level (which must exceed c.value) and
+// registers the caller as a waiter. Called with c.mu held.
+func (c *Counter) join(level uint64) *node {
+	n := c.insert(level)
+	n.count++
+	c.waiters++
+	c.stats.Suspends++
+	return n
+}
+
+// leave deregisters the caller from n; the goroutine that drops a node's
+// count to zero unlinks it (the paper's "deallocates the node" — here the
+// garbage collector reclaims it once unlinked). Called with c.mu held.
+func (c *Counter) leave(n *node) {
+	n.count--
+	c.waiters--
+	if n.count == 0 {
+		c.unlink(n)
+	}
+}
+
+// insert returns the list node for level, creating and splicing in a new
+// one if none exists. The list is ordered ascending by level; a satisfied
+// prefix may be present but its levels are <= c.value < level, so ordering
+// is preserved. Called with c.mu held.
+func (c *Counter) insert(level uint64) *node {
+	p := &c.head
+	for *p != nil && (*p).level < level {
+		p = &(*p).next
+	}
+	if *p != nil && (*p).level == level && !(*p).set {
+		return *p
+	}
+	n := &node{level: level, next: *p}
+	n.cond.L = &c.mu
+	*p = n
+	if l := c.listLen(); l > c.stats.PeakLevels {
+		c.stats.PeakLevels = l
+	}
+	return n
+}
+
+// unlink removes n from the waiting list if still present. Called with
+// c.mu held.
+func (c *Counter) unlink(n *node) {
+	for p := &c.head; *p != nil; p = &(*p).next {
+		if *p == n {
+			*p = n.next
+			n.next = nil
+			return
+		}
+	}
+}
+
+func (c *Counter) listLen() int {
+	l := 0
+	for n := c.head; n != nil; n = n.next {
+		l++
+	}
+	return l
+}
+
+// Reset implements Interface. It panics if any goroutine is suspended on
+// the counter, since the paper forbids Reset concurrent with other
+// operations.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waiters != 0 || c.head != nil {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.value = 0
+}
+
+// Value implements Interface. For inspection and testing only.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// Stats returns a copy of the counter's cumulative cost statistics.
+func (c *Counter) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Snapshot is a consistent picture of a counter's internal structure, in
+// the exact shape of the paper's Figure 2: the value plus the ordered
+// waiting list of (level, count, set) nodes.
+type Snapshot struct {
+	Value uint64
+	Nodes []NodeSnapshot
+}
+
+// NodeSnapshot describes one waiter node.
+type NodeSnapshot struct {
+	Level uint64
+	Count int
+	Set   bool
+}
+
+// String renders the snapshot in the style of Figure 2, e.g.
+// "value=7 waiting=[{level=5 count=1 set} {level=9 count=1 not-set}]".
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "value=%d waiting=[", s.Value)
+	for i, n := range s.Nodes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		flag := "not-set"
+		if n.Set {
+			flag = "set"
+		}
+		fmt.Fprintf(&b, "{level=%d count=%d %s}", n.Level, n.Count, flag)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Inspect returns a snapshot of the counter's structure. For tracing and
+// testing only (it is how the Figure 2 trace is reproduced); synchronization
+// decisions must never be based on it.
+func (c *Counter) Inspect() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{Value: c.value}
+	for n := c.head; n != nil; n = n.next {
+		s.Nodes = append(s.Nodes, NodeSnapshot{Level: n.level, Count: n.count, Set: n.set})
+	}
+	return s
+}
+
+var _ Interface = (*Counter)(nil)

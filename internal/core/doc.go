@@ -1,0 +1,41 @@
+// Package core implements monotonic counters, the thread-synchronization
+// mechanism introduced by Thornley and Chandy ("Monotonic Counters: A New
+// Mechanism for Thread Synchronization", IPPS 2000).
+//
+// A monotonic counter is an object with a nonnegative integer value that
+// starts at zero and only ever increases. It supports two fundamental
+// operations:
+//
+//   - Increment(amount): atomically add amount to the value, waking every
+//     goroutine suspended on a level that the new value now satisfies.
+//   - Check(level): suspend the calling goroutine until value >= level.
+//
+// There is deliberately no Decrement and no non-blocking probe of the
+// value: because the value is monotonically increasing, a Check can never
+// miss an Increment, so counter synchronization is free of the races that
+// condition variables and semaphores admit. Programs whose shared variables
+// are guarded by counter operations are deterministic, and (if their
+// sequential execution does not deadlock) their multithreaded execution is
+// deadlock-free and equivalent to sequential execution (paper, section 6).
+//
+// The package provides several interchangeable implementations of the
+// Interface:
+//
+//   - Counter: the paper's reference design (section 7) — a mutex plus an
+//     ordered list of per-level waiter nodes, each node holding its own
+//     condition variable. Storage and wake time are proportional to the
+//     number of *distinct levels* with waiters, not to the number of
+//     waiting goroutines.
+//   - HeapCounter: the same waiter-node design with a binary min-heap in
+//     place of the sorted linked list (O(log L) insertion).
+//   - ChanCounter: per-level nodes whose broadcast is a close(chan), the
+//     idiomatic Go translation; supports context cancellation.
+//   - BroadcastCounter: a deliberately naive baseline with a single
+//     condition variable and a full broadcast on every increment (the
+//     thundering-herd design the paper's cost analysis argues against).
+//   - AtomicCounter: the list design with a lock-free fast path for Check
+//     calls whose level is already satisfied.
+//
+// All implementations share identical blocking semantics; the test suite
+// checks them against a single sequential model.
+package core

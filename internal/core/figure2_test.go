@@ -1,0 +1,174 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFigure2Trace reproduces the paper's Figure 2 exactly: the structure
+// of counter c after (a) construction, (b) Check(5) by T1, (c) Check(9) by
+// T2, (d) Check(5) by T3, (e) Increment(7) by T0, (f) T1 resuming, and
+// (g) T3 resuming. This is experiment E2.
+func TestFigure2Trace(t *testing.T) {
+	s := NewSim()
+	steps := []struct {
+		name string
+		op   func()
+		want Snapshot
+	}{
+		{
+			name: "(a) construction",
+			op:   func() {},
+			want: Snapshot{Value: 0},
+		},
+		{
+			name: "(b) Check(5) by T1",
+			op: func() {
+				if !s.Check(5) {
+					t.Fatal("T1 Check(5) did not suspend")
+				}
+			},
+			want: Snapshot{Value: 0, Nodes: []NodeSnapshot{
+				{Level: 5, Count: 1, Set: false},
+			}},
+		},
+		{
+			name: "(c) Check(9) by T2",
+			op: func() {
+				if !s.Check(9) {
+					t.Fatal("T2 Check(9) did not suspend")
+				}
+			},
+			want: Snapshot{Value: 0, Nodes: []NodeSnapshot{
+				{Level: 5, Count: 1, Set: false},
+				{Level: 9, Count: 1, Set: false},
+			}},
+		},
+		{
+			name: "(d) Check(5) by T3",
+			op: func() {
+				if !s.Check(5) {
+					t.Fatal("T3 Check(5) did not suspend")
+				}
+			},
+			want: Snapshot{Value: 0, Nodes: []NodeSnapshot{
+				{Level: 5, Count: 2, Set: false},
+				{Level: 9, Count: 1, Set: false},
+			}},
+		},
+		{
+			name: "(e) Increment(7) by T0",
+			op:   func() { s.Increment(7) },
+			want: Snapshot{Value: 7, Nodes: []NodeSnapshot{
+				{Level: 5, Count: 2, Set: true},
+				{Level: 9, Count: 1, Set: false},
+			}},
+		},
+		{
+			name: "(f) T1 resumes execution",
+			op: func() {
+				if !s.Resume(5) {
+					t.Fatal("no resumable thread at level 5")
+				}
+			},
+			want: Snapshot{Value: 7, Nodes: []NodeSnapshot{
+				{Level: 5, Count: 1, Set: true},
+				{Level: 9, Count: 1, Set: false},
+			}},
+		},
+		{
+			name: "(g) T3 resumes execution",
+			op: func() {
+				if !s.Resume(5) {
+					t.Fatal("no resumable thread at level 5")
+				}
+			},
+			want: Snapshot{Value: 7, Nodes: []NodeSnapshot{
+				{Level: 9, Count: 1, Set: false},
+			}},
+		},
+	}
+	for _, step := range steps {
+		step.op()
+		got := s.Snapshot()
+		if !reflect.DeepEqual(got, step.want) {
+			t.Fatalf("%s:\n got  %v\n want %v", step.name, got, step.want)
+		}
+	}
+}
+
+// TestFigure2Concurrent replays the Figure 2 scenario with real goroutines
+// and asserts the deterministic waypoints: the structure before the
+// increment (state (d)), and the stable structure after both level-5
+// waiters have drained (state (g)).
+func TestFigure2Concurrent(t *testing.T) {
+	c := New()
+	var wgLow sync.WaitGroup
+	suspended := func(want Snapshot) bool {
+		return reflect.DeepEqual(c.Inspect(), want)
+	}
+	waitFor := func(desc string, want Snapshot) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for !suspended(want) {
+			select {
+			case <-deadline:
+				t.Fatalf("%s: got %v, want %v", desc, c.Inspect(), want)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	wgLow.Add(2)
+	go func() { defer wgLow.Done(); c.Check(5) }() // T1
+	go func() { c.Check(9) }()                     // T2 (released at the end)
+	go func() { defer wgLow.Done(); c.Check(5) }() // T3
+
+	waitFor("state (d)", Snapshot{Value: 0, Nodes: []NodeSnapshot{
+		{Level: 5, Count: 2, Set: false},
+		{Level: 9, Count: 1, Set: false},
+	}})
+
+	c.Increment(7) // state (e); T1 and T3 drain concurrently
+	wgLow.Wait()
+	waitFor("state (g)", Snapshot{Value: 7, Nodes: []NodeSnapshot{
+		{Level: 9, Count: 1, Set: false},
+	}})
+
+	c.Increment(2) // release T2 and leave the counter clean
+	waitFor("final", Snapshot{Value: 9})
+}
+
+// TestSimMatchesCounterStats checks the simulator exercises the same
+// bookkeeping paths as the concurrent counter.
+func TestSimMatchesCounterStats(t *testing.T) {
+	s := NewSim()
+	s.Check(5)
+	s.Check(9)
+	s.Check(5)
+	s.Increment(7)
+	s.Resume(5)
+	s.Resume(5)
+	st := s.c.Stats()
+	if st.Suspends != 3 {
+		t.Errorf("Suspends = %d, want 3", st.Suspends)
+	}
+	if st.Broadcasts != 1 {
+		t.Errorf("Broadcasts = %d, want 1 (one satisfied level)", st.Broadcasts)
+	}
+	if st.Increments != 1 {
+		t.Errorf("Increments = %d, want 1", st.Increments)
+	}
+	if st.PeakLevels != 2 {
+		t.Errorf("PeakLevels = %d, want 2", st.PeakLevels)
+	}
+	if s.Resume(5) {
+		t.Error("Resume(5) succeeded on an empty level")
+	}
+	if s.Check(7) {
+		t.Error("Check(7) suspended with value 7")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzOpsAgainstModel interprets fuzz input as a single-threaded script
+// of counter operations and cross-checks every implementation against a
+// plain uint64 model. Byte pairs decode as (op, operand): op%4 == 0..1
+// increments by operand, 2 checks a level clamped to the current value
+// (so it must not block), 3 resets. Run with `go test -fuzz=FuzzOps` for
+// coverage-guided exploration; the seed corpus runs in normal tests.
+func FuzzOpsAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 5, 2, 3, 0, 10, 2, 200, 3, 0})
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 3, 0, 0, 255, 2, 255})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		counters := make([]Interface, len(Impls))
+		for i, impl := range Impls {
+			counters[i] = NewImpl(impl)
+		}
+		var model uint64
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%4, uint64(script[i+1])
+			switch op {
+			case 0, 1:
+				model += arg
+				for _, c := range counters {
+					c.Increment(arg)
+				}
+			case 2:
+				level := arg
+				if level > model {
+					level = model // keep the script non-blocking
+				}
+				for _, c := range counters {
+					c.Check(level)
+				}
+			case 3:
+				model = 0
+				for _, c := range counters {
+					c.Reset()
+				}
+			}
+			for j, c := range counters {
+				if got := c.Value(); got != model {
+					t.Fatalf("impl %s diverged: value %d, model %d (step %d)",
+						Impls[j], got, model, i/2)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSimStructure interprets fuzz input as a script against the
+// simulator and checks structural invariants after every step: the
+// waiting list is strictly ascending, unsatisfied nodes lie strictly
+// above the value, counts are positive, and total waiters equal
+// suspends minus resumes.
+func FuzzSimStructure(f *testing.F) {
+	f.Add([]byte{1, 5, 1, 9, 1, 5, 0, 7, 2, 5, 2, 5})
+	f.Add([]byte{1, 1, 0, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		s := NewSim()
+		waiting := 0
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%3, uint64(script[i+1])
+			switch op {
+			case 0:
+				s.Increment(arg)
+			case 1:
+				if s.Check(arg) {
+					waiting++
+				}
+			case 2:
+				if s.Resume(arg) {
+					waiting--
+				}
+			}
+			snap := s.Snapshot()
+			total := 0
+			for j, n := range snap.Nodes {
+				if n.Count <= 0 {
+					t.Fatalf("node %d count %d", j, n.Count)
+				}
+				if j > 0 && snap.Nodes[j-1].Level >= n.Level {
+					t.Fatalf("list not ascending: %v", snap)
+				}
+				if !n.Set && n.Level <= snap.Value {
+					t.Fatalf("unsatisfied node at level %d <= value %d", n.Level, snap.Value)
+				}
+				if n.Set && n.Level > snap.Value {
+					t.Fatalf("satisfied node at level %d > value %d", n.Level, snap.Value)
+				}
+				total += n.Count
+			}
+			if total != waiting {
+				t.Fatalf("node counts total %d, tracked waiters %d", total, waiting)
+			}
+		}
+	})
+}

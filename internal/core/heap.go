@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// HeapCounter is a monotonic counter whose waiter nodes are organized as a
+// binary min-heap keyed on level, instead of the sorted linked list of the
+// reference design. Check inserts in O(log L) rather than O(L) (L = number
+// of distinct waited-on levels); Increment pops satisfied levels in
+// O(k log L) for k satisfied levels. It is an ablation of the section 7
+// design for the E11 experiment.
+//
+// The zero value is a valid counter with value zero.
+type HeapCounter struct {
+	mu      sync.Mutex
+	value   uint64
+	heap    []*heapNode          // min-heap by level
+	byLevel map[uint64]*heapNode // level -> live node, for coalescing waiters
+	waiters int
+	peak    int
+}
+
+type heapNode struct {
+	level uint64
+	count int
+	set   bool
+	cond  sync.Cond
+}
+
+// NewHeap returns a HeapCounter with value zero.
+func NewHeap() *HeapCounter { return new(HeapCounter) }
+
+// Increment implements Interface.
+func (c *HeapCounter) Increment(amount uint64) {
+	c.mu.Lock()
+	c.value = checkedAdd(c.value, amount)
+	for len(c.heap) > 0 && c.heap[0].level <= c.value {
+		n := c.popMin()
+		delete(c.byLevel, n.level)
+		n.set = true
+		n.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Check implements Interface.
+func (c *HeapCounter) Check(level uint64) {
+	c.mu.Lock()
+	if level <= c.value {
+		c.mu.Unlock()
+		return
+	}
+	n := c.join(level)
+	for !n.set {
+		n.cond.Wait()
+	}
+	n.count--
+	c.waiters--
+	c.mu.Unlock()
+}
+
+// CheckContext implements Interface.
+func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.mu.Lock()
+	if level <= c.value {
+		c.mu.Unlock()
+		return nil
+	}
+	n := c.join(level)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			c.mu.Lock()
+			n.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	for !n.set && ctx.Err() == nil {
+		n.cond.Wait()
+	}
+	close(stop)
+	var err error
+	if !n.set {
+		err = ctx.Err()
+	}
+	n.count--
+	c.waiters--
+	if n.count == 0 && !n.set {
+		// Cancelled node with no remaining waiters: remove it from the
+		// heap so an abandoned level does not accumulate.
+		c.removeNode(n)
+		delete(c.byLevel, n.level)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// join registers the caller on the node for level, creating it if needed.
+// Called with c.mu held and level > c.value.
+func (c *HeapCounter) join(level uint64) *heapNode {
+	if c.byLevel == nil {
+		c.byLevel = make(map[uint64]*heapNode)
+	}
+	n := c.byLevel[level]
+	if n == nil {
+		n = &heapNode{level: level}
+		n.cond.L = &c.mu
+		c.byLevel[level] = n
+		c.push(n)
+		if len(c.heap) > c.peak {
+			c.peak = len(c.heap)
+		}
+	}
+	n.count++
+	c.waiters++
+	return n
+}
+
+func (c *HeapCounter) push(n *heapNode) {
+	c.heap = append(c.heap, n)
+	c.siftUp(len(c.heap) - 1)
+}
+
+func (c *HeapCounter) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.heap[parent].level <= c.heap[i].level {
+			break
+		}
+		c.heap[parent], c.heap[i] = c.heap[i], c.heap[parent]
+		i = parent
+	}
+}
+
+func (c *HeapCounter) popMin() *heapNode {
+	n := c.heap[0]
+	last := len(c.heap) - 1
+	c.heap[0] = c.heap[last]
+	c.heap[last] = nil
+	c.heap = c.heap[:last]
+	c.siftDown(0)
+	return n
+}
+
+func (c *HeapCounter) siftDown(i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(c.heap) && c.heap[l].level < c.heap[min].level {
+			min = l
+		}
+		if r < len(c.heap) && c.heap[r].level < c.heap[min].level {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		i = min
+	}
+}
+
+// removeNode deletes n from an arbitrary heap position (cancellation path).
+// Called with c.mu held.
+func (c *HeapCounter) removeNode(n *heapNode) {
+	for i, h := range c.heap {
+		if h == n {
+			last := len(c.heap) - 1
+			c.heap[i] = c.heap[last]
+			c.heap[last] = nil
+			c.heap = c.heap[:last]
+			if i < last {
+				// The swapped-in element may belong above or below i.
+				if i > 0 && c.heap[i].level < c.heap[(i-1)/2].level {
+					c.siftUp(i)
+				} else {
+					c.siftDown(i)
+				}
+			}
+			return
+		}
+	}
+}
+
+// Reset implements Interface.
+func (c *HeapCounter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waiters != 0 || len(c.heap) != 0 {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.value = 0
+}
+
+// Value implements Interface. For inspection and testing only.
+func (c *HeapCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// PeakLevels reports the maximum number of distinct levels simultaneously
+// waited on over the counter's lifetime.
+func (c *HeapCounter) PeakLevels() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+var _ Interface = (*HeapCounter)(nil)

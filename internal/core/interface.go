@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Interface is the behaviour shared by every counter implementation in this
+// package. The two fundamental operations are those defined in section 2 of
+// the paper; the remaining methods are practical extensions that preserve
+// the monotonicity guarantees.
+type Interface interface {
+	// Increment atomically increases the counter's value by amount and
+	// wakes every goroutine suspended on a level less than or equal to
+	// the new value. Increment(0) is a no-op. Increment panics if the
+	// addition would overflow the counter's uint64 value, since a
+	// wrapped value would violate monotonicity.
+	Increment(amount uint64)
+
+	// Check suspends the calling goroutine until the counter's value is
+	// greater than or equal to level. If the value already satisfies
+	// level, Check returns immediately.
+	Check(level uint64)
+
+	// CheckContext behaves like Check but additionally returns early
+	// with ctx.Err() if the context is cancelled first. This is an
+	// extension beyond the paper (which targets systems without
+	// cancellation); a cancelled CheckContext has no effect on the
+	// counter.
+	CheckContext(ctx context.Context, level uint64) error
+
+	// Reset sets the value back to zero so the counter can be reused
+	// between algorithm phases (paper, section 2). Reset must not be
+	// called concurrently with any other operation on the counter;
+	// implementations panic if goroutines are still waiting.
+	Reset()
+
+	// Value returns the current value. It exists for inspection,
+	// tracing, and testing only: per section 2 of the paper, programs
+	// must not base synchronization decisions on an instantaneous value,
+	// which is why the public counter package does not re-export it.
+	Value() uint64
+}
+
+// WaitTimeout suspends until c's value reaches level or the timeout
+// elapses, reporting whether the level was reached. It is a convenience
+// wrapper over CheckContext and shares its caveats.
+func WaitTimeout(c Interface, level uint64, d time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.CheckContext(ctx, level) == nil
+}
+
+// checkedAdd returns v+amount, panicking on uint64 overflow. Overflow would
+// wrap the value downward and silently break monotonicity, so it is treated
+// as a programming error.
+func checkedAdd(v, amount uint64) uint64 {
+	s := v + amount
+	if s < v {
+		panic("core: counter value overflow")
+	}
+	return s
+}

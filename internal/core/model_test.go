@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"monotonic/internal/workload"
+)
+
+// TestQuickImplsAgreeWithModel runs random single-threaded op scripts
+// (Increment, satisfiable Check, Reset) against every implementation and
+// a plain uint64 model simultaneously; after every operation all values
+// must agree and no Check may block.
+func TestQuickImplsAgreeWithModel(t *testing.T) {
+	type step struct {
+		op    int // 0 = increment, 1 = check, 2 = reset
+		value uint64
+	}
+	f := func(seed uint64, n8 uint8) bool {
+		rng := workload.NewRNG(seed)
+		counters := make([]Interface, len(Impls))
+		for i, impl := range Impls {
+			counters[i] = NewImpl(impl)
+		}
+		var model uint64
+		steps := int(n8%60) + 5
+		for s := 0; s < steps; s++ {
+			var st step
+			switch rng.Intn(10) {
+			case 0:
+				st = step{op: 2}
+			case 1, 2, 3:
+				st = step{op: 1, value: rng.Uint64() % (model + 1)}
+			default:
+				st = step{op: 0, value: uint64(rng.Intn(100))}
+			}
+			switch st.op {
+			case 0:
+				model += st.value
+				for _, c := range counters {
+					c.Increment(st.value)
+				}
+			case 1:
+				// st.value <= model, so this must not block on any
+				// implementation (the test would hang, caught by the
+				// package timeout).
+				for _, c := range counters {
+					c.Check(st.value)
+				}
+			case 2:
+				model = 0
+				for _, c := range counters {
+					c.Reset()
+				}
+			}
+			for i, c := range counters {
+				if c.Value() != model {
+					t.Logf("impl %s: value %d, model %d after step %d",
+						Impls[i], c.Value(), model, s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConcurrentImplsConverge: the same random increment workload
+// applied concurrently to every implementation converges to the same
+// final value, and a full-level Check on each returns.
+func TestQuickConcurrentImplsConverge(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		rng := workload.NewRNG(seed)
+		amounts := make([]uint64, int(n8%40)+1)
+		var total uint64
+		for i := range amounts {
+			amounts[i] = uint64(rng.Intn(50))
+			total += amounts[i]
+		}
+		for _, impl := range Impls {
+			c := NewImpl(impl)
+			done := make(chan struct{})
+			go func() {
+				c.Check(total)
+				close(done)
+			}()
+			for _, a := range amounts {
+				go c.Increment(a)
+			}
+			<-done
+			// All increments have happened (Check(total) returned and
+			// value never exceeds total), so Value is exact.
+			if c.Value() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

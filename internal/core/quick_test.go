@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickValueIsSumOfIncrements: for any slice of increment amounts
+// (bounded to avoid overflow), applying them concurrently to any
+// implementation yields a final value equal to their sum.
+func TestQuickValueIsSumOfIncrements(t *testing.T) {
+	for _, impl := range Impls {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			f := func(raw []uint16) bool {
+				c := NewImpl(impl)
+				var want uint64
+				var wg sync.WaitGroup
+				for _, a := range raw {
+					want += uint64(a)
+					wg.Add(1)
+					go func(a uint64) {
+						defer wg.Done()
+						c.Increment(a)
+					}(uint64(a))
+				}
+				wg.Wait()
+				return c.Value() == want
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSequentialCheckNeverBlocks: in single-threaded use, a Check
+// whose level is at most the running sum of prior increments returns
+// (the sequential-equivalence property of section 6 relies on this).
+func TestQuickSequentialCheckNeverBlocks(t *testing.T) {
+	for _, impl := range Impls {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			f := func(raw []uint8) bool {
+				c := NewImpl(impl)
+				var sum uint64
+				done := make(chan bool, 1)
+				go func() {
+					for _, a := range raw {
+						amount := uint64(a % 8)
+						c.Increment(amount)
+						sum += amount
+						// Check at, below, and far below the current value.
+						c.Check(sum)
+						c.Check(sum / 2)
+						c.Check(0)
+					}
+					done <- true
+				}()
+				select {
+				case <-done:
+					return c.Value() == sum
+				case <-time.After(10 * time.Second):
+					return false
+				}
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickAllSatisfiedWaitersRelease: for any multiset of levels within
+// the eventual total, concurrent checkers at those levels all release once
+// the increments complete.
+func TestQuickAllSatisfiedWaitersRelease(t *testing.T) {
+	for _, impl := range Impls {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			f := func(levels []uint8, chunks []uint8) bool {
+				if len(levels) == 0 {
+					return true
+				}
+				c := NewImpl(impl)
+				var total uint64 = 256 // >= any uint8 level
+				var wg sync.WaitGroup
+				for _, lv := range levels {
+					wg.Add(1)
+					go func(lv uint64) {
+						defer wg.Done()
+						c.Check(lv)
+					}(uint64(lv))
+				}
+				// Apply increments in arbitrary chunk sizes summing to total.
+				go func() {
+					remaining := total
+					for _, ch := range chunks {
+						step := uint64(ch)
+						if step > remaining {
+							step = remaining
+						}
+						c.Increment(step)
+						remaining -= step
+					}
+					c.Increment(remaining)
+				}()
+				released := make(chan struct{})
+				go func() { wg.Wait(); close(released) }()
+				select {
+				case <-released:
+					return true
+				case <-time.After(10 * time.Second):
+					return false
+				}
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSnapshotOrdered: the reference implementation's waiting list is
+// always sorted strictly ascending by level, whatever the arrival order of
+// simulated checks.
+func TestQuickSnapshotOrdered(t *testing.T) {
+	f := func(levels []uint16) bool {
+		s := NewSim()
+		for _, lv := range levels {
+			s.Check(uint64(lv) + 1) // +1: level 0 never suspends
+		}
+		snap := s.Snapshot()
+		for i := 1; i < len(snap.Nodes); i++ {
+			if snap.Nodes[i-1].Level >= snap.Nodes[i].Level {
+				return false
+			}
+		}
+		// Node counts must total the number of suspended checks.
+		total := 0
+		for _, n := range snap.Nodes {
+			total += n.Count
+		}
+		return total == len(levels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimDrainsClean: after incrementing past every level and
+// resuming every waiter, the waiting list is empty — no leaked nodes.
+func TestQuickSimDrainsClean(t *testing.T) {
+	f := func(levels []uint8) bool {
+		s := NewSim()
+		suspended := 0
+		for _, lv := range levels {
+			if s.Check(uint64(lv) + 1) {
+				suspended++
+			}
+		}
+		s.Increment(257) // satisfies every uint8-derived level
+		for i := 0; i < suspended; i++ {
+			resumedAny := false
+			for _, n := range s.Snapshot().Nodes {
+				if s.Resume(n.Level) {
+					resumedAny = true
+					break
+				}
+			}
+			if !resumedAny {
+				return false
+			}
+		}
+		return len(s.Snapshot().Nodes) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

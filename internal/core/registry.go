@@ -1,0 +1,38 @@
+package core
+
+// Impl identifies one counter implementation for tests, benchmarks, and
+// command-line selection.
+type Impl string
+
+// The implementations available in this package.
+const (
+	ImplList      Impl = "list"      // reference design, paper section 7
+	ImplHeap      Impl = "heap"      // min-heap waiter index
+	ImplChan      Impl = "chan"      // close-channel broadcast
+	ImplBroadcast Impl = "broadcast" // naive single-condvar baseline
+	ImplAtomic    Impl = "atomic"    // list design + lock-free fast path
+	ImplSpin      Impl = "spin"      // spin-then-block hybrid over the atomic design
+)
+
+// Impls lists every implementation, reference design first.
+var Impls = []Impl{ImplList, ImplHeap, ImplChan, ImplBroadcast, ImplAtomic, ImplSpin}
+
+// NewImpl constructs a fresh counter of the named implementation. It
+// panics on an unknown name, which is always a programming error.
+func NewImpl(impl Impl) Interface {
+	switch impl {
+	case ImplList:
+		return New()
+	case ImplHeap:
+		return NewHeap()
+	case ImplChan:
+		return NewChan()
+	case ImplBroadcast:
+		return NewBroadcast()
+	case ImplAtomic:
+		return NewAtomic()
+	case ImplSpin:
+		return NewSpin()
+	}
+	panic("core: unknown counter implementation " + string(impl))
+}

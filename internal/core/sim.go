@@ -1,0 +1,66 @@
+package core
+
+// Sim drives the reference counter's waiting-list machinery one step at a
+// time, with simulated threads instead of goroutines. It exists to
+// reproduce the paper's Figure 2 exactly: each operation in the figure
+// ((a) construction through (g) a thread resuming) maps to one Sim call,
+// and Snapshot exposes the resulting structure deterministically.
+//
+// Sim manipulates the same insert/join/leave bookkeeping the concurrent
+// Counter uses, so the trace it produces is the trace of the production
+// data structure, not of a parallel model.
+type Sim struct {
+	c Counter
+}
+
+// NewSim returns a simulator over a fresh counter (Figure 2 state (a)).
+func NewSim() *Sim { return new(Sim) }
+
+// Check simulates a thread calling Check(level). It reports whether the
+// thread suspended (level > value) or passed straight through.
+func (s *Sim) Check(level uint64) bool {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if level <= s.c.value {
+		s.c.stats.ImmediateChecks++
+		return false
+	}
+	s.c.join(level)
+	return true
+}
+
+// Increment simulates Increment(amount): the value rises and every node at
+// a satisfied level has its condition set. Suspended simulated threads do
+// not resume until Resume is called for their level, which is exactly the
+// window in which Figure 2 states (e) and (f) are observable.
+func (s *Sim) Increment(amount uint64) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.c.value = checkedAdd(s.c.value, amount)
+	s.c.stats.Increments++
+	for n := s.c.head; n != nil && n.level <= s.c.value; n = n.next {
+		if !n.set {
+			n.set = true
+			s.c.stats.Broadcasts++
+		}
+	}
+}
+
+// Resume simulates one woken thread at the given level finishing its Check
+// call: the node's count drops and the thread that drops it to zero
+// unlinks the node. It reports whether a thread was resumable (a set node
+// with waiters exists at level).
+func (s *Sim) Resume(level uint64) bool {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	for n := s.c.head; n != nil; n = n.next {
+		if n.level == level && n.set && n.count > 0 {
+			s.c.leave(n)
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the current structure in Figure 2 form.
+func (s *Sim) Snapshot() Snapshot { return s.c.Inspect() }

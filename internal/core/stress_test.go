@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"monotonic/internal/workload"
+)
+
+// Stress tests: long randomized runs across all implementations. Skipped
+// under -short.
+
+// TestStressRandomizedOps drives each implementation with a randomized
+// mix of increments, satisfied checks, future checks, and cancellations,
+// and verifies global invariants: the final value is the sum of all
+// increments, and every non-cancelled check at a level within that sum
+// returns.
+func TestStressRandomizedOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, impl := range Impls {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			t.Parallel()
+			const (
+				incrementers = 3
+				perIncr      = 2000
+				checkers     = 6
+				cancellers   = 2
+			)
+			total := uint64(incrementers * perIncr) // each increments 1
+			c := NewImpl(impl)
+			var wg sync.WaitGroup
+			var completedChecks atomic.Int64
+
+			for w := 0; w < checkers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := workload.NewRNG(seed + 1)
+					for i := 0; i < 300; i++ {
+						lv := uint64(rng.Intn(int(total + 1)))
+						c.Check(lv)
+						completedChecks.Add(1)
+					}
+				}(uint64(w))
+			}
+			for w := 0; w < cancellers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := workload.NewRNG(seed + 100)
+					for i := 0; i < 100; i++ {
+						// Sometimes beyond the horizon (guaranteed
+						// cancel), sometimes within it.
+						lv := uint64(rng.Intn(int(2 * total)))
+						ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(200))*time.Microsecond)
+						_ = c.CheckContext(ctx, lv)
+						cancel()
+					}
+				}(uint64(w))
+			}
+			for w := 0; w < incrementers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perIncr; i++ {
+						c.Increment(1)
+					}
+				}()
+			}
+
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				t.Fatal("stress run hung")
+			}
+			if got := c.Value(); got != total {
+				t.Fatalf("final value %d, want %d", got, total)
+			}
+			if got := completedChecks.Load(); got != checkers*300 {
+				t.Fatalf("completed checks %d, want %d", got, checkers*300)
+			}
+		})
+	}
+}
+
+// TestStressListStaysConsistent hammers the reference implementation and
+// asserts the waiting list is empty and ordered at the end.
+func TestStressListStaysConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	c := New()
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		base := uint64(r * 100)
+		for w := 0; w < 40; w++ {
+			wg.Add(1)
+			go func(lv uint64) {
+				defer wg.Done()
+				c.Check(lv)
+			}(base + uint64(w%10)*10)
+		}
+		for i := 0; i < 100; i++ {
+			c.Increment(1)
+		}
+		wg.Wait()
+		snap := c.Inspect()
+		if len(snap.Nodes) != 0 {
+			t.Fatalf("round %d: %d nodes leaked: %v", r, len(snap.Nodes), snap)
+		}
+		if snap.Value != base+100 {
+			t.Fatalf("round %d: value %d, want %d", r, snap.Value, base+100)
+		}
+	}
+}
+
+// TestStressResetCycles alternates full drain + Reset cycles, checking
+// reuse stays sound.
+func TestStressResetCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, impl := range Impls {
+		c := NewImpl(impl)
+		for cycle := 0; cycle < 200; cycle++ {
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(lv uint64) {
+					defer wg.Done()
+					c.Check(lv)
+				}(uint64(w) + 1)
+			}
+			c.Increment(8)
+			wg.Wait()
+			c.Reset()
+			if c.Value() != 0 {
+				t.Fatalf("impl %s cycle %d: nonzero after reset", impl, cycle)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Memory-model battery: data written before an Increment must be visible
+// after the Check that increment satisfies, for every implementation and
+// several shapes of publication. Run under -race these tests also prove
+// the claims to the race detector, not just to assertions.
+
+func TestVisibilityPublishThenIncrement(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		const items = 200
+		data := make([]int, items)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < items; i++ {
+					c.Check(uint64(i) + 1)
+					if data[i] != i*3+1 {
+						t.Errorf("read %d at %d before publication", data[i], i)
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < items; i++ {
+			data[i] = i*3 + 1
+			c.Increment(1)
+		}
+		wg.Wait()
+	})
+}
+
+func TestVisibilityThroughChainedCounters(t *testing.T) {
+	// T0 writes x, increments c1. T1 checks c1, writes y, increments
+	// c2. T2 checks c2 and must see both writes (transitive chain).
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		c2 := NewImpl(ImplList)
+		var x, y int
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			x = 41
+			c.Increment(1)
+		}()
+		go func() {
+			defer wg.Done()
+			c.Check(1)
+			y = x + 1
+			c2.Increment(1)
+		}()
+		go func() {
+			defer wg.Done()
+			c2.Check(1)
+			if x != 41 || y != 42 {
+				t.Errorf("chain lost writes: x=%d y=%d", x, y)
+			}
+		}()
+		wg.Wait()
+	})
+}
+
+func TestVisibilityBulkIncrement(t *testing.T) {
+	// A single Increment(k) publishes k items at once; a reader checking
+	// any level within the batch must see everything up to that level.
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		const batch = 64
+		data := make([]int, batch)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			c.Check(batch / 2)
+			for i := 0; i < batch/2; i++ {
+				if data[i] != i+1 {
+					t.Errorf("batch item %d not visible", i)
+					return
+				}
+			}
+			c.Check(batch)
+			for i := 0; i < batch; i++ {
+				if data[i] != i+1 {
+					t.Errorf("batch item %d not visible after full check", i)
+					return
+				}
+			}
+		}()
+		for i := 0; i < batch; i++ {
+			data[i] = i + 1
+		}
+		c.Increment(batch)
+		<-done
+	})
+}
+
+func TestVisibilityAfterReset(t *testing.T) {
+	// Reuse across phases: writes of phase 2 are visible through phase
+	// 2's increments after a Reset between phases.
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		var payload int
+		payload = 1
+		c.Increment(1)
+		c.Check(1)
+		c.Reset()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			c.Check(1)
+			if payload != 2 {
+				t.Errorf("phase-2 payload %d", payload)
+			}
+		}()
+		payload = 2
+		c.Increment(1)
+		<-done
+	})
+}

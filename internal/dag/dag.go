@@ -1,0 +1,196 @@
+// Package dag is a dataflow task-graph executor built entirely on
+// monotonic counters: each task owns a counter that its completion
+// increments, and a task starts when a Check against each dependency's
+// counter passes. It packages the paper's dataflow style (sections 4-5)
+// as a reusable component: declare tasks and edges, run with bounded
+// workers, get deterministic completion of an arbitrary DAG.
+//
+// Graphs are validated (unknown dependencies, duplicate names, cycles)
+// before anything runs. Task functions receive the results of their
+// dependencies and return a value visible to their dependents; because a
+// dependent's Check happens-after the dependency's Increment, result
+// publication needs no further synchronization — the counter is the
+// memory fence, exactly as in the paper's broadcast pattern.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"monotonic/internal/core"
+	"monotonic/internal/sthreads"
+)
+
+// Graph is a set of named tasks with dependencies. Build with Task, then
+// Run. A Graph is not safe for concurrent mutation.
+type Graph struct {
+	tasks []*task
+	index map[string]int
+}
+
+type task struct {
+	name string
+	deps []string
+	fn   func(deps map[string]any) (any, error)
+
+	done   *core.Counter // reaches 1 when the task completes
+	result any
+	err    error
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// Task adds a named task depending on deps. fn receives the dependency
+// results keyed by name. Task returns an error on a duplicate name; the
+// dependencies themselves are validated by Run (so tasks may be declared
+// in any order).
+func (g *Graph) Task(name string, deps []string, fn func(deps map[string]any) (any, error)) error {
+	if _, dup := g.index[name]; dup {
+		return fmt.Errorf("dag: duplicate task %q", name)
+	}
+	g.index[name] = len(g.tasks)
+	g.tasks = append(g.tasks, &task{
+		name: name,
+		deps: append([]string(nil), deps...),
+		fn:   fn,
+	})
+	return nil
+}
+
+// MustTask is Task, panicking on error — for statically known graphs.
+func (g *Graph) MustTask(name string, deps []string, fn func(deps map[string]any) (any, error)) {
+	if err := g.Task(name, deps, fn); err != nil {
+		panic(err)
+	}
+}
+
+// validate checks that every dependency exists and that the graph is
+// acyclic, returning a topological order of task indices.
+func (g *Graph) validate() ([]int, error) {
+	adj := make([][]int, len(g.tasks)) // dep -> dependents
+	indeg := make([]int, len(g.tasks))
+	for i, t := range g.tasks {
+		for _, d := range t.deps {
+			j, ok := g.index[d]
+			if !ok {
+				return nil, fmt.Errorf("dag: task %q depends on unknown task %q", t.name, d)
+			}
+			if j == i {
+				return nil, fmt.Errorf("dag: task %q depends on itself", t.name)
+			}
+			adj[j] = append(adj[j], i)
+			indeg[i]++
+		}
+	}
+	// Kahn's algorithm; deterministic order via sorted ready set.
+	var order []int
+	ready := []int{}
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		next := []int{}
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				next = append(next, j)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+	}
+	if len(order) != len(g.tasks) {
+		var stuck []string
+		for i, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, g.tasks[i].name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("dag: dependency cycle involving %v", stuck)
+	}
+	return order, nil
+}
+
+// Results maps task names to their returned values.
+type Results map[string]any
+
+// Run executes the graph with at most maxWorkers concurrent tasks
+// (maxWorkers < 1 means one goroutine per task) and returns every task's
+// result. If any task returns an error, Run still drives the graph to
+// quiescence (dependents of a failed task are skipped, reporting a
+// dependency error) and returns the first failure by task-name order.
+func (g *Graph) Run(maxWorkers int) (Results, error) {
+	order, err := g.validate()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range g.tasks {
+		t.done = core.New()
+		t.result, t.err = nil, nil
+	}
+	if maxWorkers < 1 {
+		maxWorkers = len(order)
+	}
+	// One lightweight goroutine per task blocks on its dependency
+	// Checks; the bounded resource is task *execution*, gated by the
+	// slots channel. A slot is acquired only after every dependency has
+	// completed, so blocked tasks can never starve the workers (holding
+	// a slot while waiting would deadlock bounded runs of deep graphs).
+	slots := make(chan struct{}, maxWorkers)
+	sthreads.ForN(sthreads.Concurrent, len(order), func(k int) {
+		t := g.tasks[order[k]]
+		deps := make(map[string]any, len(t.deps))
+		var depErr error
+		for _, d := range t.deps {
+			dt := g.tasks[g.index[d]]
+			dt.done.Check(1) // dataflow gate; also the memory fence
+			if dt.err != nil && depErr == nil {
+				depErr = fmt.Errorf("dag: task %q skipped: dependency %q failed: %w", t.name, d, dt.err)
+			}
+			deps[d] = dt.result
+		}
+		if depErr != nil {
+			t.err = depErr
+		} else {
+			slots <- struct{}{}
+			t.result, t.err = t.fn(deps)
+			<-slots
+		}
+		t.done.Increment(1)
+	})
+
+	results := make(Results, len(g.tasks))
+	var firstErr error
+	names := make([]string, 0, len(g.tasks))
+	for _, t := range g.tasks {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := g.tasks[g.index[name]]
+		results[t.name] = t.result
+		if t.err != nil && firstErr == nil {
+			firstErr = t.err
+		}
+	}
+	return results, firstErr
+}
+
+// Names returns the task names in insertion order.
+func (g *Graph) Names() []string {
+	out := make([]string, len(g.tasks))
+	for i, t := range g.tasks {
+		out[i] = t.name
+	}
+	return out
+}

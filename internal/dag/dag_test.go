@@ -1,0 +1,257 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"monotonic/internal/workload"
+)
+
+func constTask(v any) func(map[string]any) (any, error) {
+	return func(map[string]any) (any, error) { return v, nil }
+}
+
+func TestLinearChain(t *testing.T) {
+	g := New()
+	g.MustTask("a", nil, constTask(1))
+	g.MustTask("b", []string{"a"}, func(d map[string]any) (any, error) {
+		return d["a"].(int) + 1, nil
+	})
+	g.MustTask("c", []string{"b"}, func(d map[string]any) (any, error) {
+		return d["b"].(int) * 10, nil
+	})
+	for _, workers := range []int{0, 1, 2, 8} {
+		res, err := g.Run(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res["c"] != 20 {
+			t.Fatalf("workers=%d: c = %v", workers, res["c"])
+		}
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := New()
+	g.MustTask("src", nil, constTask(3))
+	g.MustTask("left", []string{"src"}, func(d map[string]any) (any, error) {
+		return d["src"].(int) + 10, nil
+	})
+	g.MustTask("right", []string{"src"}, func(d map[string]any) (any, error) {
+		return d["src"].(int) * 10, nil
+	})
+	g.MustTask("sink", []string{"left", "right"}, func(d map[string]any) (any, error) {
+		return d["left"].(int) + d["right"].(int), nil
+	})
+	res, err := g.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["sink"] != 43 {
+		t.Fatalf("sink = %v", res["sink"])
+	}
+}
+
+func TestDeclarationOrderIrrelevant(t *testing.T) {
+	g := New()
+	// Dependent declared before its dependency.
+	g.MustTask("b", []string{"a"}, func(d map[string]any) (any, error) {
+		return d["a"].(string) + "!", nil
+	})
+	g.MustTask("a", nil, constTask("hi"))
+	res, err := g.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["b"] != "hi!" {
+		t.Fatalf("b = %v", res["b"])
+	}
+}
+
+func TestDuplicateTask(t *testing.T) {
+	g := New()
+	g.MustTask("x", nil, constTask(1))
+	if err := g.Task("x", nil, constTask(2)); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+}
+
+func TestUnknownDependency(t *testing.T) {
+	g := New()
+	g.MustTask("x", []string{"ghost"}, constTask(1))
+	if _, err := g.Run(0); err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New()
+	g.MustTask("a", []string{"c"}, constTask(1))
+	g.MustTask("b", []string{"a"}, constTask(1))
+	g.MustTask("c", []string{"b"}, constTask(1))
+	_, err := g.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSelfDependency(t *testing.T) {
+	g := New()
+	g.MustTask("a", []string{"a"}, constTask(1))
+	if _, err := g.Run(0); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+}
+
+func TestErrorPropagatesAndSkipsDependents(t *testing.T) {
+	boom := errors.New("boom")
+	g := New()
+	g.MustTask("ok", nil, constTask(1))
+	g.MustTask("bad", nil, func(map[string]any) (any, error) { return nil, boom })
+	ran := atomic.Bool{}
+	g.MustTask("child", []string{"bad", "ok"}, func(map[string]any) (any, error) {
+		ran.Store(true)
+		return 2, nil
+	})
+	res, err := g.Run(4)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if ran.Load() {
+		t.Fatal("dependent of failed task executed")
+	}
+	if res["ok"] != 1 {
+		t.Fatal("independent task result lost")
+	}
+}
+
+// TestBoundedWorkersDeepGraph: a long chain with one worker must not
+// deadlock (blocked tasks don't hold execution slots).
+func TestBoundedWorkersDeepGraph(t *testing.T) {
+	g := New()
+	const depth = 200
+	g.MustTask("t0", nil, constTask(0))
+	for i := 1; i < depth; i++ {
+		dep := fmt.Sprintf("t%d", i-1)
+		g.MustTask(fmt.Sprintf("t%d", i), []string{dep}, func(d map[string]any) (any, error) {
+			return d[dep].(int) + 1, nil
+		})
+	}
+	res, err := g.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[fmt.Sprintf("t%d", depth-1)] != depth-1 {
+		t.Fatalf("chain result %v", res[fmt.Sprintf("t%d", depth-1)])
+	}
+}
+
+// TestWorkerLimitRespected: peak concurrent executions never exceed the
+// limit even with a wide graph.
+func TestWorkerLimitRespected(t *testing.T) {
+	const width = 40
+	const limit = 3
+	g := New()
+	var inside, peak atomic.Int64
+	for i := 0; i < width; i++ {
+		g.MustTask(fmt.Sprintf("w%d", i), nil, func(map[string]any) (any, error) {
+			cur := inside.Add(1)
+			for {
+				m := peak.Load()
+				if cur <= m || peak.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			workload.Yield(3)
+			inside.Add(-1)
+			return nil, nil
+		})
+	}
+	if _, err := g.Run(limit); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak executions %d > limit %d", p, limit)
+	}
+}
+
+// TestQuickRandomDAGsDeterministic: random DAGs of pure tasks give the
+// same results at every worker count.
+func TestQuickRandomDAGsDeterministic(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%10) + 1
+		rng := workload.NewRNG(seed)
+		build := func() *Graph {
+			g := New()
+			for i := 0; i < n; i++ {
+				var deps []string
+				for j := 0; j < i; j++ {
+					if rng.Intn(3) == 0 {
+						deps = append(deps, fmt.Sprintf("n%d", j))
+					}
+				}
+				i := i
+				myDeps := deps
+				g.MustTask(fmt.Sprintf("n%d", i), myDeps, func(d map[string]any) (any, error) {
+					acc := int64(i + 1)
+					for _, dep := range myDeps {
+						acc = acc*31 + d[dep].(int64)
+					}
+					return acc, nil
+				})
+			}
+			return g
+		}
+		g1 := build()
+		// Rebuild with a fresh identical RNG stream so both graphs
+		// have the same shape.
+		rng = workload.NewRNG(seed)
+		g2 := build()
+		r1, err1 := g1.Run(1)
+		r2, err2 := g2.Run(4)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for k, v := range r1 {
+			if r2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := New()
+	g.MustTask("x", nil, constTask(1))
+	g.MustTask("y", nil, constTask(1))
+	names := g.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+// TestGraphReusable: a graph can be Run multiple times; state resets.
+func TestGraphReusable(t *testing.T) {
+	g := New()
+	calls := atomic.Int64{}
+	g.MustTask("a", nil, func(map[string]any) (any, error) {
+		return calls.Add(1), nil
+	})
+	for i := int64(1); i <= 3; i++ {
+		res, err := g.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res["a"] != i {
+			t.Fatalf("run %d: a = %v", i, res["a"])
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package derived implements traditional synchronization mechanisms ON
+// TOP of monotonic counters, demonstrating the paper's section 8 point
+// that one counter operation often corresponds to many traditional
+// synchronization operations, and that counters integrate with (indeed,
+// subsume much of) the traditional repertoire:
+//
+//   - Event: a manual-reset event is a counter used at level 1.
+//   - Latch: a count-down latch (java.util.concurrent's CountDownLatch)
+//     is a counter checked at its target.
+//   - Barrier: a cyclic barrier is a counter incremented once per arrival
+//     and checked at n*round — the counter's multiple suspension queues
+//     let threads from different rounds coexist without the generation
+//     bookkeeping a condvar barrier needs.
+//   - Sequencer: admission in ticket order (the Disruptor-style pattern),
+//     a counter checked at each ticket.
+//
+// None of these exhaust the counter: they all use it at a single level or
+// a fixed stride, whereas dataflow programs (sections 4-5) exploit
+// arbitrary level sets.
+package derived
+
+import (
+	"sync/atomic"
+
+	"monotonic/internal/core"
+)
+
+// Event is a one-shot manual-reset event built on a counter: Set is
+// Increment(1), Check is Check(1). Once set it stays set — exactly the
+// monotonicity an event needs.
+type Event struct {
+	c core.Counter
+}
+
+// NewEvent returns an unset event.
+func NewEvent() *Event { return new(Event) }
+
+// Set signals the event; extra Sets are harmless (the level only needs
+// reaching once).
+func (e *Event) Set() {
+	// An event may be Set many times; guard the counter against
+	// unbounded growth is unnecessary (uint64), but keep Set idempotent
+	// in effect: any value >= 1 means "set".
+	e.c.Increment(1)
+}
+
+// Check suspends until the event is set.
+func (e *Event) Check() { e.c.Check(1) }
+
+// Latch is a count-down latch for n parties: each Done is an Increment,
+// Wait is a Check at n. (The paper's counter counts up; a "count-down"
+// latch is the same object viewed from the other end.)
+type Latch struct {
+	c core.Counter
+	n uint64
+}
+
+// NewLatch returns a latch that opens after n Done calls. n may be zero,
+// in which case Wait never suspends.
+func NewLatch(n int) *Latch {
+	if n < 0 {
+		panic("derived: NewLatch requires n >= 0")
+	}
+	return &Latch{n: uint64(n)}
+}
+
+// Done records one completion.
+func (l *Latch) Done() { l.c.Increment(1) }
+
+// Wait suspends until n completions have been recorded.
+func (l *Latch) Wait() { l.c.Check(l.n) }
+
+// Barrier is a cyclic barrier for n parties built on one counter: the
+// r-th crossing completes when the counter reaches n*r. Each party tracks
+// its own round locally, so no generation flag or reset is needed — the
+// counter's per-level queues do that bookkeeping for free.
+type Barrier struct {
+	c core.Counter
+	n uint64
+}
+
+// NewBarrier returns a counter-based barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("derived: NewBarrier requires n >= 1")
+	}
+	return &Barrier{n: uint64(n)}
+}
+
+// Party is one participant's handle; each party must use its own.
+type Party struct {
+	b     *Barrier
+	round uint64
+}
+
+// Register returns a participant handle.
+func (b *Barrier) Register() *Party { return &Party{b: b} }
+
+// Pass blocks until all n parties have passed this round.
+func (p *Party) Pass() {
+	p.round++
+	p.b.c.Increment(1)
+	p.b.c.Check(p.b.n * p.round)
+}
+
+// Sequencer admits goroutines in ticket order: Next hands out tickets,
+// Awaitadmits when the predecessor completes. It is the section 5.2
+// ordering pattern packaged as an object.
+type Sequencer struct {
+	c    core.Counter
+	next atomic.Uint64
+}
+
+// NewSequencer returns a sequencer whose first ticket is 0.
+func NewSequencer() *Sequencer { return new(Sequencer) }
+
+// Next reserves and returns the caller's ticket.
+func (s *Sequencer) Next() uint64 {
+	return s.next.Add(1) - 1
+}
+
+// Await suspends until every ticket before `ticket` has completed.
+func (s *Sequencer) Await(ticket uint64) { s.c.Check(ticket) }
+
+// Complete marks the caller's ticket done, admitting the next one. It
+// must be called exactly once per ticket, in possession of that ticket's
+// turn (i.e. after Await returned).
+func (s *Sequencer) Complete() { s.c.Increment(1) }
+
+// Do runs f in ticket order: it reserves a ticket, awaits its turn, runs
+// f, and completes.
+func (s *Sequencer) Do(f func()) {
+	t := s.Next()
+	s.Await(t)
+	f()
+	s.Complete()
+}

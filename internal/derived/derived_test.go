@@ -1,0 +1,207 @@
+package derived
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEventSetReleases(t *testing.T) {
+	e := NewEvent()
+	released := make(chan struct{})
+	go func() {
+		e.Check()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("Check passed before Set")
+	case <-time.After(20 * time.Millisecond):
+	}
+	e.Set()
+	e.Set() // idempotent in effect
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Check never released")
+	}
+	e.Check() // already set: immediate
+}
+
+func TestLatchOpensAtN(t *testing.T) {
+	l := NewLatch(3)
+	opened := make(chan struct{})
+	go func() {
+		l.Wait()
+		close(opened)
+	}()
+	for i := 0; i < 2; i++ {
+		l.Done()
+	}
+	select {
+	case <-opened:
+		t.Fatal("latch opened early")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Done()
+	select {
+	case <-opened:
+	case <-time.After(5 * time.Second):
+		t.Fatal("latch never opened")
+	}
+}
+
+func TestLatchZero(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		NewLatch(0).Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("zero latch blocked")
+	}
+}
+
+func TestLatchNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLatch(-1) did not panic")
+		}
+	}()
+	NewLatch(-1)
+}
+
+func TestBarrierLockstep(t *testing.T) {
+	const n = 6
+	const rounds = 100
+	b := NewBarrier(n)
+	var stepOf [n]atomic.Int64
+	var bad atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			party := b.Register()
+			for r := 1; r <= rounds; r++ {
+				stepOf[p].Store(int64(r))
+				party.Pass()
+				for q := 0; q < n; q++ {
+					v := stepOf[q].Load()
+					if v < int64(r) || v > int64(r+1) {
+						bad.Store(true)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("counter-based barrier failed lockstep")
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	p := b.Register()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			p.Pass()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("single-party barrier blocked")
+	}
+}
+
+func TestBarrierPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestSequencerOrders(t *testing.T) {
+	s := NewSequencer()
+	var order []uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const n = 32
+	// Reserve tickets in a deterministic order, then complete them from
+	// goroutines started in reverse: execution must still follow ticket
+	// order.
+	tickets := make([]uint64, n)
+	for i := range tickets {
+		tickets[i] = s.Next()
+	}
+	for i := n - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(ticket uint64) {
+			defer wg.Done()
+			s.Await(ticket)
+			mu.Lock()
+			order = append(order, ticket)
+			mu.Unlock()
+			s.Complete()
+		}(tickets[i])
+	}
+	wg.Wait()
+	for i, v := range order {
+		if v != uint64(i) {
+			t.Fatalf("execution order %v, want ticket order", order)
+		}
+	}
+}
+
+func TestSequencerDo(t *testing.T) {
+	s := NewSequencer()
+	var result []int
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(func() {
+				result = append(result, len(result))
+			})
+		}()
+	}
+	wg.Wait()
+	if len(result) != 16 {
+		t.Fatalf("result = %v", result)
+	}
+	for i, v := range result {
+		if v != i {
+			t.Fatalf("result = %v, want in-order appends", result)
+		}
+	}
+}
+
+// TestSequencerDoTicketsReservedInCallOrder: with Do, a goroutine's place
+// is its Next() call order; racing goroutines get *some* total order with
+// no lost or duplicated slots.
+func TestSequencerDoRace(t *testing.T) {
+	s := NewSequencer()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(func() { count.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if count.Load() != 64 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}

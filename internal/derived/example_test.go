@@ -1,0 +1,43 @@
+package derived_test
+
+import (
+	"fmt"
+	"sync"
+
+	"monotonic/internal/derived"
+)
+
+// A sequencer runs critical sections in ticket order regardless of
+// scheduling.
+func ExampleSequencer() {
+	s := derived.NewSequencer()
+	var wg sync.WaitGroup
+	out := make([]int, 0, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(func() { out = append(out, len(out)) })
+		}()
+	}
+	wg.Wait()
+	fmt.Println(out)
+	// Output: [0 1 2 3 4]
+}
+
+// A latch is a counter checked at its target.
+func ExampleLatch() {
+	l := derived.NewLatch(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Done()
+		}()
+	}
+	l.Wait()
+	wg.Wait()
+	fmt.Println("all three done")
+	// Output: all three done
+}

@@ -1,0 +1,270 @@
+package detect
+
+import (
+	"testing"
+)
+
+// TestSection6CounterProgramClean: the deterministic program of section 6
+// — Check(0); x=x+1; Increment(1) || Check(1); x=x*2; Increment(1) — has
+// no violations: the counter chain orders the two access pairs.
+func TestSection6CounterProgramClean(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		reg := NewRegistry()
+		root := reg.Root()
+		x := NewVar(root, "x", 3)
+		c := NewCounter(root)
+		root.Go(
+			func(th *Thread) {
+				c.Check(th, 0)
+				x.Write(th, x.Read(th)+1)
+				c.Increment(th, 1)
+			},
+			func(th *Thread) {
+				c.Check(th, 1)
+				x.Write(th, x.Read(th)*2)
+				c.Increment(th, 1)
+			},
+		)
+		if v := reg.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: unexpected violations %v", trial, v)
+		}
+		if got := x.Read(root); got != 8 {
+			t.Fatalf("trial %d: x = %d, want 8", trial, got)
+		}
+	}
+}
+
+// TestSection6UnguardedProgramFlagged: the erroneous variant where both
+// threads Check(0) — concurrent access to x — is detected.
+func TestSection6UnguardedProgramFlagged(t *testing.T) {
+	flagged := false
+	for trial := 0; trial < 50 && !flagged; trial++ {
+		reg := NewRegistry()
+		root := reg.Root()
+		x := NewVar(root, "x", 3)
+		c := NewCounter(root)
+		root.Go(
+			func(th *Thread) {
+				c.Check(th, 0)
+				x.Write(th, x.Read(th)+1)
+				c.Increment(th, 1)
+			},
+			func(th *Thread) {
+				c.Check(th, 0)
+				x.Write(th, x.Read(th)*2)
+				c.Increment(th, 1)
+			},
+		)
+		flagged = len(reg.Violations()) > 0
+	}
+	if !flagged {
+		t.Fatal("unguarded concurrent accesses never flagged")
+	}
+}
+
+// TestLockGuardedProgramCleanButOrderFree: the lock program of section 6
+// is violation-free — the mutex orders the accesses — which is exactly
+// the paper's point: freedom from races does not imply determinacy.
+func TestLockGuardedProgramCleanButOrderFree(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		reg := NewRegistry()
+		root := reg.Root()
+		x := NewVar(root, "x", 3)
+		var m Mutex
+		root.Go(
+			func(th *Thread) {
+				m.Lock(th)
+				x.Write(th, x.Read(th)+1)
+				m.Unlock(th)
+			},
+			func(th *Thread) {
+				m.Lock(th)
+				x.Write(th, x.Read(th)*2)
+				m.Unlock(th)
+			},
+		)
+		if v := reg.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: lock-guarded program flagged: %v", trial, v)
+		}
+		got := x.Read(root)
+		if got != 8 && got != 7 {
+			t.Fatalf("trial %d: x = %d, want 7 or 8", trial, got)
+		}
+	}
+}
+
+// TestForkJoinEdges: a child's writes are visible (ordered) to the parent
+// after Join, and sibling writes to different vars don't interfere.
+func TestForkJoinEdges(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.Root()
+	a := NewVar(root, "a", 0)
+	b := NewVar(root, "b", 0)
+	root.Go(
+		func(th *Thread) { a.Write(th, 1) },
+		func(th *Thread) { b.Write(th, 2) },
+	)
+	if got := a.Read(root); got != 1 {
+		t.Fatalf("a = %d", got)
+	}
+	if got := b.Read(root); got != 2 {
+		t.Fatalf("b = %d", got)
+	}
+	if v := reg.Violations(); len(v) != 0 {
+		t.Fatalf("fork/join program flagged: %v", v)
+	}
+}
+
+// TestSiblingWriteWriteRace: two children writing the same variable with
+// no synchronization is a write-write violation.
+func TestSiblingWriteWriteRace(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.Root()
+	x := NewVar(root, "x", 0)
+	root.Go(
+		func(th *Thread) { x.Write(th, 1) },
+		func(th *Thread) { x.Write(th, 2) },
+	)
+	vs := reg.Violations()
+	if len(vs) == 0 {
+		t.Fatal("sibling write-write race not flagged")
+	}
+	if vs[0].Var != "x" {
+		t.Fatalf("violation names %q", vs[0].Var)
+	}
+}
+
+// TestReadersDontRace: many concurrent readers of a parent-written value
+// are fine.
+func TestReadersDontRace(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.Root()
+	x := NewVar(root, "x", 42)
+	bodies := make([]func(th *Thread), 8)
+	for i := range bodies {
+		bodies[i] = func(th *Thread) {
+			if got := x.Read(th); got != 42 {
+				t.Errorf("reader saw %d", got)
+			}
+		}
+	}
+	root.Go(bodies...)
+	if v := reg.Violations(); len(v) != 0 {
+		t.Fatalf("read-only sharing flagged: %v", v)
+	}
+}
+
+// TestWriterVsReaderRace: one unsynchronized writer among readers is
+// flagged.
+func TestWriterVsReaderRace(t *testing.T) {
+	flagged := false
+	for trial := 0; trial < 50 && !flagged; trial++ {
+		reg := NewRegistry()
+		root := reg.Root()
+		x := NewVar(root, "x", 0)
+		root.Go(
+			func(th *Thread) { x.Write(th, 1) },
+			func(th *Thread) { _ = x.Read(th) },
+		)
+		flagged = len(reg.Violations()) > 0
+	}
+	if !flagged {
+		t.Fatal("writer/reader race never flagged")
+	}
+}
+
+// TestCounterChainTransitive: a chain T0 -> T1 -> T2 through two
+// different counters orders T0's write with T2's read (the "transitive
+// chain of counter operations" of section 6).
+func TestCounterChainTransitive(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.Root()
+	x := NewVar(root, "x", 0)
+	c1 := NewCounter(root)
+	c2 := NewCounter(root)
+	root.Go(
+		func(th *Thread) {
+			x.Write(th, 10)
+			c1.Increment(th, 1)
+		},
+		func(th *Thread) {
+			c1.Check(th, 1)
+			c2.Increment(th, 1)
+		},
+		func(th *Thread) {
+			c2.Check(th, 1)
+			if got := x.Read(th); got != 10 {
+				t.Errorf("x = %d through chain", got)
+			}
+		},
+	)
+	if v := reg.Violations(); len(v) != 0 {
+		t.Fatalf("transitive chain flagged: %v", v)
+	}
+}
+
+// TestBroadcastPatternClean: the single-writer multiple-reader pattern
+// of section 5.3, instrumented, has no violations.
+func TestBroadcastPatternClean(t *testing.T) {
+	const n = 20
+	reg := NewRegistry()
+	root := reg.Root()
+	data := make([]*Var[int], n)
+	for i := range data {
+		data[i] = NewVar(root, "data", 0)
+	}
+	c := NewCounter(root)
+	writer := func(th *Thread) {
+		for i := 0; i < n; i++ {
+			data[i].Write(th, i*i)
+			c.Increment(th, 1)
+		}
+	}
+	reader := func(th *Thread) {
+		for i := 0; i < n; i++ {
+			c.Check(th, uint64(i)+1)
+			if got := data[i].Read(th); got != i*i {
+				t.Errorf("reader saw data[%d] = %d", i, got)
+			}
+		}
+	}
+	root.Go(writer, reader, reader, reader)
+	if v := reg.Violations(); len(v) != 0 {
+		t.Fatalf("broadcast pattern flagged: %v", v)
+	}
+}
+
+// TestOrderedAccumulationClean: the section 5.2 counter accumulation has
+// no violations and a deterministic result.
+func TestOrderedAccumulationClean(t *testing.T) {
+	const n = 10
+	reg := NewRegistry()
+	root := reg.Root()
+	result := NewVar(root, "result", 0)
+	c := NewCounter(root)
+	bodies := make([]func(th *Thread), n)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(th *Thread) {
+			sub := i + 1
+			c.Check(th, uint64(i))
+			result.Write(th, result.Read(th)+sub)
+			c.Increment(th, 1)
+		}
+	}
+	root.Go(bodies...)
+	if v := reg.Violations(); len(v) != 0 {
+		t.Fatalf("ordered accumulation flagged: %v", v)
+	}
+	if got := result.Read(root); got != n*(n+1)/2 {
+		t.Fatalf("result = %d", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Var: "x", Kind: "write-write", First: 1, Second: 2}
+	want := "write-write race on x between thread 1 and thread 2"
+	if v.String() != want {
+		t.Fatalf("String = %q", v.String())
+	}
+}

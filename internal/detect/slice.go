@@ -1,0 +1,50 @@
+package detect
+
+import "fmt"
+
+// Slice is an instrumented shared array: each element is tracked
+// independently (concurrent accesses to *different* elements are fine;
+// the paper's broadcast and stencil programs rely on exactly that), with
+// the same vector-clock race detection as Var.
+type Slice[T any] struct {
+	name  string
+	elems []*Var[T]
+}
+
+// NewSlice returns an instrumented slice of length n named for reports as
+// name[i]. Element initialization counts as writes by the creating
+// thread.
+func NewSlice[T any](t *Thread, name string, n int) *Slice[T] {
+	s := &Slice[T]{name: name, elems: make([]*Var[T], n)}
+	var zero T
+	for i := range s.elems {
+		s.elems[i] = NewVar(t, fmt.Sprintf("%s[%d]", name, i), zero)
+	}
+	return s
+}
+
+// Len returns the slice length.
+func (s *Slice[T]) Len() int { return len(s.elems) }
+
+// Read returns element i, recording the access.
+func (s *Slice[T]) Read(t *Thread, i int) T { return s.elems[i].Read(t) }
+
+// Write stores element i, recording the access.
+func (s *Slice[T]) Write(t *Thread, i int, v T) { s.elems[i].Write(t, v) }
+
+// Fill writes every element (e.g. to initialize from a parent thread).
+func (s *Slice[T]) Fill(t *Thread, f func(i int) T) {
+	for i := range s.elems {
+		s.elems[i].Write(t, f(i))
+	}
+}
+
+// Snapshot reads every element from the given thread, recording the
+// accesses, and returns the values.
+func (s *Slice[T]) Snapshot(t *Thread) []T {
+	out := make([]T, len(s.elems))
+	for i := range s.elems {
+		out[i] = s.elems[i].Read(t)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package experiments implements every reproduction experiment E1-E12
+// from DESIGN.md as a named, runnable unit producing harness tables. The
+// cmd/counterbench binary runs them; EXPERIMENTS.md records their output.
+//
+// The paper (IPPS 2000) reports no machine-measured numbers — its
+// evaluation is worked examples, patterns, and complexity claims — so
+// each experiment regenerates the corresponding figure, listing
+// behaviour, or claim as a measured table whose *shape* must match the
+// paper's argument.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"monotonic/internal/harness"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks problem sizes so the full suite runs in seconds
+	// (used by tests); the default sizes are for reported runs.
+	Quick bool
+}
+
+// Experiment is one reproducible unit.
+type Experiment struct {
+	ID    string // "E1".."E13"
+	Title string
+	// Paper states what the paper claims or shows (the target).
+	Paper string
+	// Notes interprets the measured tables against the claim.
+	Notes string
+	Run   func(cfg Config) []*harness.Table
+}
+
+// registry is populated by the per-experiment files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID (E1, E2, ... E12).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAndPrint runs the experiment, writes its tables to w, and returns
+// them (e.g. for CSV export).
+func RunAndPrint(w io.Writer, e Experiment, cfg Config) []*harness.Table {
+	fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+	tables := e.Run(cfg)
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	return tables
+}
+
+// RunAndPrintMarkdown runs the experiment and writes a full EXPERIMENTS.md
+// section — the paper's claim, the measured tables, and the
+// interpretation — returning the tables.
+func RunAndPrintMarkdown(w io.Writer, e Experiment, cfg Config) []*harness.Table {
+	fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+	if e.Paper != "" {
+		fmt.Fprintf(w, "**Paper:** %s\n\n", e.Paper)
+	}
+	tables := e.Run(cfg)
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	if e.Notes != "" {
+		fmt.Fprintf(w, "**Measured:** %s\n\n", e.Notes)
+	}
+	return tables
+}
+
+// verdict renders a pass/fail cell.
+func verdict(ok bool) string {
+	if ok {
+		return "match"
+	}
+	return "MISMATCH"
+}

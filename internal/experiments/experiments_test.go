@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(all))
+	}
+	for i, e := range all {
+		want := "E" + itoa(i+1)
+		if e.ID != want {
+			t.Errorf("position %d holds %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("E99 present")
+	}
+}
+
+// TestEveryExperimentRunsQuickWithoutMismatch runs the whole suite in
+// quick mode and asserts no table cell reports MISMATCH — the "shape
+// holds" criterion is machine-checked.
+func TestEveryExperimentRunsQuickWithoutMismatch(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Config{Quick: true})
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: table %q empty", e.ID, tb.Title)
+				}
+				md := tb.Markdown()
+				if strings.Contains(md, "MISMATCH") {
+					t.Errorf("%s: table %q contains MISMATCH:\n%s", e.ID, tb.Title, md)
+				}
+			}
+		})
+	}
+}
+
+// TestE2TraceMatchesFigure2 pins the exact rendered structures of the
+// Figure 2 trace table.
+func TestE2TraceMatchesFigure2(t *testing.T) {
+	e, _ := Get("E2")
+	tb := e.Run(Config{Quick: true})[0]
+	wantStructures := []string{
+		"value=0 waiting=[]",
+		"value=0 waiting=[{level=5 count=1 not-set}]",
+		"value=0 waiting=[{level=5 count=1 not-set} {level=9 count=1 not-set}]",
+		"value=0 waiting=[{level=5 count=2 not-set} {level=9 count=1 not-set}]",
+		"value=7 waiting=[{level=5 count=2 set} {level=9 count=1 not-set}]",
+		"value=7 waiting=[{level=5 count=1 set} {level=9 count=1 not-set}]",
+		"value=7 waiting=[{level=9 count=1 not-set}]",
+	}
+	if len(tb.Rows) != len(wantStructures) {
+		t.Fatalf("trace rows = %d, want %d", len(tb.Rows), len(wantStructures))
+	}
+	for i, row := range tb.Rows {
+		if row[2] != wantStructures[i] {
+			t.Errorf("step %s: %q, want %q", row[0], row[2], wantStructures[i])
+		}
+	}
+}
+
+// TestE8OutcomeCounts pins the headline determinacy numbers.
+func TestE8OutcomeCounts(t *testing.T) {
+	e, _ := Get("E8")
+	tb := e.Run(Config{Quick: true})[0]
+	wantOutcomes := map[string]string{
+		"lock: {x=x+1} || {x=x*2}":                          "2",
+		"counter: Check(0);x=x+1;Inc || Check(1);x=x*2;Inc": "1",
+		"unguarded: both Check(0), atomic stmts":            "2",
+		"cyclic Check/Inc (deadlocks sequentially)":         "0",
+	}
+	for _, row := range tb.Rows {
+		if want, ok := wantOutcomes[row[0]]; ok && row[1] != want {
+			t.Errorf("%s: outcomes = %s, want %s", row[0], row[1], want)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package explore_test
+
+import (
+	"fmt"
+
+	"monotonic/internal/explore"
+)
+
+// Exhaustively exploring the paper's section 6 lock program shows its two
+// outcomes; the counter program has one.
+func ExampleExplore() {
+	lock := explore.MustExplore(explore.LockProgram())
+	counter := explore.MustExplore(explore.CounterProgram())
+	fmt.Println("lock:", lock.OutcomeList())
+	fmt.Println("counter:", counter.OutcomeList())
+	// Output:
+	// lock: [x0=7 x0=8]
+	// counter: [x0=8]
+}
+
+// Programs are written in a tiny op language; deadlocks are found with a
+// witness schedule.
+func ExampleProgram() {
+	p := explore.Program{
+		Threads: [][]explore.Op{
+			{explore.Check(0, 1), explore.Inc(1, 1)},
+			{explore.Check(1, 1), explore.Inc(0, 1)},
+		},
+	}
+	res := explore.MustExplore(p)
+	fmt.Println("deadlock:", res.Deadlock)
+	// Output:
+	// deadlock: true
+}

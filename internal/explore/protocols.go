@@ -1,0 +1,116 @@
+package explore
+
+// Model programs for the paper's full synchronization protocols, small
+// enough to verify exhaustively: the ragged-barrier stencil (section 5.1)
+// and the counter APSP skeleton (section 4.5). These complement the
+// hand-sized section 6 programs: here the explorer proves the *protocols*
+// deadlock-free and deterministic over every schedule, which no amount of
+// concrete-execution testing can.
+
+// StencilProgram models the section 5.1 per-cell protocol with `cells`
+// total cells (two fixed boundaries) over `steps` time steps.
+//
+// Variables: var i  = state of cell i (initialized to 10*i).
+// Counters: counter i = progress of cell i.
+// Each interior cell thread, per step t (1-based):
+//
+//	Check(c[i-1], 2t-2); read state[i-1]
+//	Check(c[i+1], 2t-2); read state[i+1]
+//	Inc(c[i], 1)
+//	Check(c[i-1], 2t-1); Check(c[i+1], 2t-1)
+//	write state[i] = reg + 1   (stand-in for f(l, s, r))
+//	Inc(c[i], 1)
+//
+// The model's "update" reads the left neighbour into the register, folds
+// the observed value into a per-cell trace variable (var cells+(i-1)), and
+// writes reg+1 as the new state. The fold makes every read's value — and
+// therefore any mis-ordered read — visible in the final state even when
+// the state cascade itself would mask it.
+func StencilProgram(cells, steps int) Program {
+	return stencilProgram(cells, steps, false)
+}
+
+func stencilProgram(cells, steps int, broken bool) Program {
+	if cells < 3 {
+		panic("explore: stencil model requires >= 3 cells")
+	}
+	interior := cells - 2
+	p := Program{InitVars: make([]int64, cells+interior)}
+	for i := 0; i < cells; i++ {
+		p.InitVars[i] = int64(10 * i)
+	}
+	horizon := int64(2 * steps)
+	// Boundary counters are pre-satisfied by a dedicated one-op thread
+	// each (the model has no pre-incremented state, and an extra
+	// enabled-first op only multiplies schedules the memoizer absorbs).
+	p.Threads = append(p.Threads,
+		[]Op{Inc(0, horizon)},
+		[]Op{Inc(cells-1, horizon)},
+	)
+	for i := 1; i < cells-1; i++ {
+		trace := cells + (i - 1)
+		var ops []Op
+		for t := 1; t <= steps; t++ {
+			tt := int64(t)
+			ops = append(ops,
+				Check(i-1, 2*tt-2),
+				Read(i-1),        // lState into the register
+				Fold(trace, 100), // record what was observed
+				Check(i+1, 2*tt-2),
+				Inc(i, 1),
+			)
+			if !broken {
+				ops = append(ops,
+					Check(i-1, 2*tt-1),
+					Check(i+1, 2*tt-1),
+				)
+			}
+			ops = append(ops,
+				Write(i, Add, 1), // state[i] = lState + 1
+				Inc(i, 1),
+			)
+		}
+		p.Threads = append(p.Threads, ops)
+	}
+	return p
+}
+
+// BrokenStencilProgram is StencilProgram with the write-side
+// synchronization removed (no Check(2t-1) before writing): a cell can
+// overwrite its state before the neighbour has read the previous step's
+// value, so exploration must find more than one outcome in the trace
+// variables.
+func BrokenStencilProgram(cells, steps int) Program {
+	return stencilProgram(cells, steps, true)
+}
+
+// APSPSkeletonProgram models the section 4.5 dataflow skeleton: `threads`
+// workers run `iters` iterations; iteration k is gated by Check(k) on a
+// single counter (counter 0). Each published row is its own variable
+// (vars 0..iters-1, mirroring the kRow array — a single shared row
+// variable would race exactly the way the paper's kRow staging exists to
+// prevent); var iters+t is worker t's accumulator. The owner of iteration
+// k+1 (thread (k+1) mod threads) publishes row k+1 during iteration k,
+// then increments the counter.
+func APSPSkeletonProgram(threads, iters int) Program {
+	p := Program{InitVars: make([]int64, iters+threads)}
+	p.InitVars[0] = 1 // row 0 is published at start
+	for t := 0; t < threads; t++ {
+		var ops []Op
+		for k := 0; k < iters; k++ {
+			ops = append(ops,
+				Check(0, int64(k)),
+				Read(k),                   // read row k
+				Write(iters+t, Add, 1000), // acc = row + 1000
+			)
+			if k+1 < iters && (k+1)%threads == t {
+				ops = append(ops,
+					Modify(k+1, Set, int64(7*(k+1))), // publish row k+1
+					Inc(0, 1),
+				)
+			}
+		}
+		p.Threads = append(p.Threads, ops)
+	}
+	return p
+}

@@ -1,0 +1,124 @@
+package explore
+
+import "testing"
+
+// TestStencilProtocolDeterministic verifies, over every schedule, that
+// the section 5.1 ragged-barrier protocol is deterministic and
+// deadlock-free at model scale.
+func TestStencilProtocolDeterministic(t *testing.T) {
+	cases := []struct{ cells, steps int }{
+		{3, 1}, {3, 3}, {4, 1}, {4, 2}, {5, 1}, {5, 2},
+	}
+	for _, c := range cases {
+		res, err := Explore(StencilProgram(c.cells, c.steps), 1<<22)
+		if err != nil {
+			t.Fatalf("cells=%d steps=%d: %v", c.cells, c.steps, err)
+		}
+		if res.Deadlock {
+			t.Errorf("cells=%d steps=%d: protocol deadlocked (trace %v)", c.cells, c.steps, res.DeadlockTrace)
+		}
+		if len(res.Outcomes) != 1 {
+			t.Errorf("cells=%d steps=%d: %d outcomes %v, want 1",
+				c.cells, c.steps, len(res.Outcomes), res.OutcomeList())
+		}
+	}
+}
+
+// TestStencilProtocolMatchesCascade pins the deterministic outcome: with
+// update state[i] = state[i-1]+1 the values cascade from the left
+// boundary.
+func TestStencilProtocolMatchesCascade(t *testing.T) {
+	res := MustExplore(StencilProgram(4, 2))
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("outcomes %v", res.OutcomeList())
+	}
+	for _, vars := range res.Outcomes {
+		// cells: 0,10,20,30 initially; boundary cells stay 0 and 30.
+		// step1: s1 = s0+1 = 1; s2 = s1(old)+1 = 11.
+		// step2: s1 = s0+1 = 1; s2 = s1(step1)+1 = 2.
+		// trace1 folds reads of s0 (0, 0): 0*100+0, then 0*100+0 = 0.
+		// trace2 folds reads of s1 (10, then 1): 10*100+1 = 1001.
+		want := []int64{0, 1, 2, 30, 0, 1001}
+		for i, w := range want {
+			if vars[i] != w {
+				t.Fatalf("vars = %v, want %v", vars, want)
+			}
+		}
+	}
+}
+
+// TestBrokenStencilNondeterministic: removing the write-side gate makes
+// the protocol racy — exploration finds multiple outcomes.
+func TestBrokenStencilNondeterministic(t *testing.T) {
+	res, err := Explore(BrokenStencilProgram(4, 2), 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Fatal("broken protocol deadlocked (it should only race)")
+	}
+	if len(res.Outcomes) <= 1 {
+		t.Fatalf("broken protocol outcomes %v, expected nondeterminism", res.OutcomeList())
+	}
+}
+
+// TestAPSPSkeletonDeterministic: the section 4.5 skeleton is
+// deterministic and deadlock-free over all schedules for several
+// thread/iteration shapes.
+func TestAPSPSkeletonDeterministic(t *testing.T) {
+	cases := []struct{ threads, iters int }{
+		{1, 3}, {2, 2}, {2, 3}, {3, 3}, {2, 4},
+	}
+	for _, c := range cases {
+		res, err := Explore(APSPSkeletonProgram(c.threads, c.iters), 1<<22)
+		if err != nil {
+			t.Fatalf("threads=%d iters=%d: %v", c.threads, c.iters, err)
+		}
+		if res.Deadlock {
+			t.Errorf("threads=%d iters=%d: deadlock (trace %v)", c.threads, c.iters, res.DeadlockTrace)
+		}
+		if len(res.Outcomes) != 1 {
+			t.Errorf("threads=%d iters=%d: outcomes %v, want 1",
+				c.threads, c.iters, res.OutcomeList())
+		}
+	}
+}
+
+// TestAPSPSkeletonAccumulators pins the final state: every worker's
+// accumulator holds last row + 1000, and every row was published.
+func TestAPSPSkeletonAccumulators(t *testing.T) {
+	const threads, iters = 2, 3
+	res := MustExplore(APSPSkeletonProgram(threads, iters))
+	for _, vars := range res.Outcomes {
+		// rows: var0 = 1, var1 = 7, var2 = 14.
+		if vars[0] != 1 || vars[1] != 7 || vars[2] != 14 {
+			t.Fatalf("rows = %v", vars[:iters])
+		}
+		// accumulators: last row (14) + 1000.
+		for tID := 0; tID < threads; tID++ {
+			if vars[iters+tID] != 1014 {
+				t.Fatalf("acc[%d] = %d, want 1014", tID, vars[iters+tID])
+			}
+		}
+	}
+}
+
+// TestSequentialExecutionOfProtocols: both protocol models also succeed
+// under the sequential schedule... for the stencil this is only true
+// because the boundary threads come first in thread order; the APSP
+// skeleton matches the real algorithm's property that thread 0 can run
+// to completion only if it owns every row it needs — with round-robin
+// ownership it deadlocks sequentially (documented section 6 limits).
+func TestSequentialExecutionOfProtocols(t *testing.T) {
+	if _, deadlock := SequentialOutcome(StencilProgram(4, 2)); !deadlock {
+		t.Log("stencil sequential schedule completed (boundary threads first)")
+	}
+	_, deadlock := SequentialOutcome(APSPSkeletonProgram(2, 3))
+	if !deadlock {
+		t.Fatal("APSP skeleton with 2 threads should deadlock sequentially (thread 0 needs rows thread 1 owns)")
+	}
+	// Single-threaded ownership is sequentially executable.
+	if _, deadlock := SequentialOutcome(APSPSkeletonProgram(1, 3)); deadlock {
+		t.Fatal("single-thread APSP skeleton deadlocked sequentially")
+	}
+}

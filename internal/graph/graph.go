@@ -1,0 +1,158 @@
+// Package graph provides the all-pairs shortest-path substrate for the
+// paper's section 4 experiments: weighted-digraph generation (including
+// negative edge weights without negative cycles), the sequential
+// Floyd-Warshall algorithm, the three multithreaded variants from the
+// paper (barrier, condition-variable array, single counter), and an
+// independent Bellman-Ford reference for cross-checking.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"monotonic/internal/workload"
+)
+
+// Inf is the edge weight meaning "no edge". It is chosen so that
+// Inf + Inf still fits in an int without overflow on 64-bit platforms and
+// comparisons behave as +infinity for every realistic path length.
+const Inf = int(1) << 40
+
+// Matrix is a square edge-weight or path-length matrix.
+type Matrix [][]int
+
+// NewMatrix returns an n x n matrix with zero diagonal and Inf elsewhere.
+func NewMatrix(n int) Matrix {
+	m := make(Matrix, n)
+	cells := make([]int, n*n)
+	for i := range m {
+		m[i], cells = cells[:n], cells[n:]
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = Inf
+			}
+		}
+	}
+	return m
+}
+
+// N returns the dimension of the matrix.
+func (m Matrix) N() int { return len(m) }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	n := len(m)
+	out := make(Matrix, n)
+	cells := make([]int, n*n)
+	for i := range out {
+		out[i], cells = cells[:n], cells[n:]
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// Equal reports whether two matrices are identical.
+func (m Matrix) Equal(o Matrix) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if len(m[i]) != len(o[i]) {
+			return false
+		}
+		for j := range m[i] {
+			if m[i][j] != o[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix with Inf drawn as the paper's "∞".
+func (m Matrix) String() string {
+	var b strings.Builder
+	for _, row := range m {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			if v >= Inf {
+				b.WriteString("∞")
+			} else {
+				fmt.Fprintf(&b, "%d", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// addSat adds path lengths, saturating at Inf so "no path" propagates.
+func addSat(a, b int) int {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	return a + b
+}
+
+// Random generates the edge matrix of a random weighted digraph with n
+// vertices. Each ordered pair (u != v) receives an edge with probability
+// density; weights are nonnegative in [0, maxWeight]. Self-edges have
+// weight zero, as the problem requires.
+func Random(n int, density float64, maxWeight int, seed uint64) Matrix {
+	rng := workload.NewRNG(seed)
+	m := NewMatrix(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < density {
+				m[u][v] = rng.Intn(maxWeight + 1)
+			}
+		}
+	}
+	return m
+}
+
+// RandomNegative generates a random digraph that contains negative edge
+// weights but no negative-length cycles. It assigns each vertex a
+// potential p(v) and sets w(u,v) = c(u,v) + p(u) - p(v) with c >= 0;
+// every cycle's potential terms telescope to zero, so all cycle lengths
+// stay nonnegative (the inverse of Johnson's reweighting). Self-edges have
+// weight zero.
+func RandomNegative(n int, density float64, maxWeight, maxPotential int, seed uint64) Matrix {
+	rng := workload.NewRNG(seed)
+	pot := make([]int, n)
+	for v := range pot {
+		pot[v] = rng.Intn(2*maxPotential+1) - maxPotential
+	}
+	m := NewMatrix(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < density {
+				m[u][v] = rng.Intn(maxWeight+1) + pot[u] - pot[v]
+			}
+		}
+	}
+	return m
+}
+
+// Figure1 returns the 3-vertex input (edge) matrix of the paper's
+// Figure 1: edges V0->V1 (weight 1), V0->V2 (2), V1->V0 (4), V2->V1 (-3).
+func Figure1() Matrix {
+	return Matrix{
+		{0, 1, 2},
+		{4, 0, Inf},
+		{Inf, -3, 0},
+	}
+}
+
+// Figure1Paths returns the output (path) matrix the paper's Figure 1
+// gives for that graph: e.g. the shortest V0->V1 path is V0->V2->V1 with
+// length 2 + (-3) = -1.
+func Figure1Paths() Matrix {
+	return Matrix{
+		{0, -1, 2},
+		{4, 0, 6},
+		{1, -3, 0},
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+// BellmanFord computes single-source shortest paths from src by edge
+// relaxation, an algorithm wholly independent of Floyd-Warshall; it is the
+// cross-check oracle for the APSP variants. It reports ok=false if a
+// negative cycle is reachable (the generators never produce one, but the
+// oracle checks rather than assumes).
+func BellmanFord(edge Matrix, src int) (dist []int, ok bool) {
+	n := edge.N()
+	dist = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	for round := 0; round < n-1; round++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if dist[u] >= Inf {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if w := edge[u][v]; w < Inf {
+					if d := dist[u] + w; d < dist[v] {
+						dist[v] = d
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// One more sweep: any further improvement means a negative cycle.
+	for u := 0; u < n; u++ {
+		if dist[u] >= Inf {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if w := edge[u][v]; w < Inf && dist[u]+w < dist[v] {
+				return nil, false
+			}
+		}
+	}
+	return dist, true
+}
+
+// AllPairsBellmanFord runs BellmanFord from every source, producing a path
+// matrix to compare against the Floyd-Warshall variants. ok=false reports
+// a negative cycle.
+func AllPairsBellmanFord(edge Matrix) (Matrix, bool) {
+	n := edge.N()
+	out := make(Matrix, n)
+	for s := 0; s < n; s++ {
+		dist, ok := BellmanFord(edge, s)
+		if !ok {
+			return nil, false
+		}
+		out[s] = dist
+	}
+	return out, true
+}
+
+// HasNegativeCycle reports whether the graph contains a negative-length
+// cycle, by checking the diagonal of the Floyd-Warshall closure.
+func HasNegativeCycle(edge Matrix) bool {
+	path := ShortestPaths1(edge)
+	for i := range path {
+		if path[i][i] < 0 {
+			return true
+		}
+	}
+	return false
+}

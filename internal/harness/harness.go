@@ -1,0 +1,234 @@
+// Package harness provides the measurement machinery that regenerates the
+// experiment tables in EXPERIMENTS.md: repeated timing with robust
+// statistics, parameter sweeps, and markdown/CSV table rendering. It
+// deliberately depends on nothing but the standard library and
+// internal/workload, so every experiment binary can embed it.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timing is the result of repeated measurement of one configuration.
+type Timing struct {
+	Durations []time.Duration
+}
+
+// Measure runs setup-free f reps times and records each duration. A
+// warm-up run is executed first and discarded, so one-time allocation and
+// scheduler ramp-up do not pollute the samples.
+func Measure(reps int, f func()) Timing {
+	f() // warm-up
+	t := Timing{Durations: make([]time.Duration, 0, reps)}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		t.Durations = append(t.Durations, time.Since(start))
+	}
+	return t
+}
+
+// Median returns the median duration.
+func (t Timing) Median() time.Duration {
+	if len(t.Durations) == 0 {
+		return 0
+	}
+	d := append([]time.Duration(nil), t.Durations...)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	n := len(d)
+	if n%2 == 1 {
+		return d[n/2]
+	}
+	return (d[n/2-1] + d[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean duration.
+func (t Timing) Mean() time.Duration {
+	if len(t.Durations) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range t.Durations {
+		sum += d
+	}
+	return sum / time.Duration(len(t.Durations))
+}
+
+// Min returns the fastest sample.
+func (t Timing) Min() time.Duration {
+	if len(t.Durations) == 0 {
+		return 0
+	}
+	min := t.Durations[0]
+	for _, d := range t.Durations[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Max returns the slowest sample.
+func (t Timing) Max() time.Duration {
+	if len(t.Durations) == 0 {
+		return 0
+	}
+	max := t.Durations[0]
+	for _, d := range t.Durations[1:] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Stddev returns the sample standard deviation.
+func (t Timing) Stddev() time.Duration {
+	n := len(t.Durations)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(t.Mean())
+	var ss float64
+	for _, d := range t.Durations {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// Speedup returns base.Median / t.Median as a ratio (how many times
+// faster t is than base; > 1 means t wins).
+func Speedup(base, t Timing) float64 {
+	m := t.Median()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return float64(base.Median()) / float64(m)
+}
+
+// Table accumulates experiment rows and renders them as markdown or CSV.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; the cell count should match the headers.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		return s + strings.Repeat(" ", w-len(s))
+	}
+	b.WriteString("|")
+	for i, h := range t.Headers {
+		b.WriteString(" " + pad(h, widths[i]) + " |")
+	}
+	b.WriteString("\n|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Headers {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			b.WriteString(" " + pad(c, widths[i]) + " |")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	b.WriteString(strings.Join(cells, ",") + "\n")
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		b.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return b.String()
+}
+
+// Fprint writes the markdown rendering followed by a blank line.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintln(w, t.Markdown())
+}
+
+// Dur formats a duration for a table cell with three significant places.
+func Dur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Ratio formats a speedup factor as "1.23x".
+func Ratio(x float64) string {
+	if math.IsInf(x, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", x)
+}
+
+// I formats an integer cell.
+func I(v int) string { return fmt.Sprint(v) }
+
+// U formats an unsigned cell.
+func U(v uint64) string { return fmt.Sprint(v) }
+
+// F formats a float cell with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixed(ds ...time.Duration) Timing { return Timing{Durations: ds} }
+
+func TestMedian(t *testing.T) {
+	if got := fixed(3, 1, 2).Median(); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := fixed(4, 1, 3, 2).Median(); got != 2 { // (2+3)/2 truncated
+		t.Fatalf("even median = %v", got)
+	}
+	if got := fixed().Median(); got != 0 {
+		t.Fatalf("empty median = %v", got)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	tm := fixed(10, 20, 30)
+	if tm.Mean() != 20 || tm.Min() != 10 || tm.Max() != 30 {
+		t.Fatalf("mean/min/max = %v/%v/%v", tm.Mean(), tm.Min(), tm.Max())
+	}
+	if fixed().Mean() != 0 || fixed().Min() != 0 || fixed().Max() != 0 {
+		t.Fatal("empty timing stats nonzero")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := fixed(10, 10, 10).Stddev(); got != 0 {
+		t.Fatalf("constant stddev = %v", got)
+	}
+	// Samples 2,4,4,4,5,5,7,9 have sample stddev ~2.138, truncated to
+	// 2ns by the integer Duration.
+	got := fixed(2, 4, 4, 4, 5, 5, 7, 9).Stddev()
+	if got != 2 {
+		t.Fatalf("stddev = %v, want 2ns", got)
+	}
+	// At microsecond scale the fraction is visible: scale by 1000.
+	got = fixed(2000, 4000, 4000, 4000, 5000, 5000, 7000, 9000).Stddev()
+	if math.Abs(float64(got)-2138) > 1 {
+		t.Fatalf("scaled stddev = %v, want ~2138ns", got)
+	}
+	if fixed(5).Stddev() != 0 {
+		t.Fatal("single-sample stddev nonzero")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := fixed(100, 100, 100)
+	fast := fixed(50, 50, 50)
+	if got := Speedup(base, fast); got != 2 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(base, fixed(0)), 1) {
+		t.Fatal("zero-median speedup not inf")
+	}
+}
+
+func TestMeasureCollects(t *testing.T) {
+	calls := 0
+	tm := Measure(5, func() { calls++ })
+	if len(tm.Durations) != 5 {
+		t.Fatalf("collected %d samples", len(tm.Durations))
+	}
+	if calls != 6 { // warm-up + 5
+		t.Fatalf("f called %d times, want 6", calls)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	md := tb.Markdown()
+	if !strings.Contains(md, "### Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(md, "| name  | value |") {
+		t.Fatalf("header misaligned:\n%s", md)
+	}
+	if !strings.Contains(md, "| alpha | 1     |") {
+		t.Fatalf("row misaligned:\n%s", md)
+	}
+	// Short rows must not panic and must pad.
+	tb2 := NewTable("", "a", "b")
+	tb2.Add("only")
+	if !strings.Contains(tb2.Markdown(), "| only |") {
+		t.Fatal("short row mishandled")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add(`x,y`, `q"z`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "500ns"},
+		{1500 * time.Nanosecond, "1.5µs"},
+		{2500 * time.Microsecond, "2.50ms"},
+		{1500 * time.Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := Dur(c.d); got != c.want {
+			t.Errorf("Dur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+	if Ratio(1.234) != "1.23x" {
+		t.Fatalf("Ratio = %q", Ratio(1.234))
+	}
+	if Ratio(math.Inf(1)) != "inf" {
+		t.Fatal("Ratio(inf)")
+	}
+	if I(7) != "7" || U(9) != "9" || F(1.5, 2) != "1.50" {
+		t.Fatal("numeric formatters")
+	}
+}

@@ -1,0 +1,83 @@
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+
+	"monotonic/internal/explore"
+	"monotonic/internal/sched"
+)
+
+// Cross-validation between the two section 6 verification tools: the
+// exhaustive model checker (internal/explore) and the executable schedule
+// fuzzer (internal/sched) must agree on outcome sets for the same
+// programs — the fuzzer can only ever observe a subset, and for these
+// small programs enough seeds observe all of it.
+
+func TestLockFoldOutcomesAgreeAcrossTools(t *testing.T) {
+	const n = 4
+	model := explore.MustExplore(explore.LockAccumulateProgram(n))
+
+	observed := map[int64]bool{}
+	w := sched.NewWorld()
+	m := w.Mutex()
+	for seed := uint64(0); seed < 3000; seed++ {
+		var x int64
+		bodies := make([]func(*sched.T), n)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(t *sched.T) {
+				w.M(m).Lock(t)
+				x = x*2 + int64(i)
+				w.M(m).Unlock(t)
+			}
+		}
+		if out := w.Run(seed, bodies...); out.Deadlock {
+			t.Fatalf("seed %d deadlocked", seed)
+		}
+		observed[x] = true
+	}
+
+	if len(observed) != len(model.Outcomes) {
+		t.Fatalf("fuzzer observed %d outcomes, model has %d", len(observed), len(model.Outcomes))
+	}
+	for x := range observed {
+		key := fmt.Sprintf("x0=%d", x)
+		if _, ok := model.Outcomes[key]; !ok {
+			t.Fatalf("fuzzer outcome %s not reachable in the model", key)
+		}
+	}
+}
+
+func TestCounterFoldSingleOutcomeAcrossTools(t *testing.T) {
+	const n = 4
+	model := explore.MustExplore(explore.OrderedAccumulateProgram(n))
+	if len(model.Outcomes) != 1 {
+		t.Fatalf("model outcomes %v", model.OutcomeList())
+	}
+	var want int64
+	for _, vars := range model.Outcomes {
+		want = vars[0]
+	}
+
+	w := sched.NewWorld()
+	c := w.Counter()
+	for seed := uint64(0); seed < 500; seed++ {
+		var x int64
+		bodies := make([]func(*sched.T), n)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(t *sched.T) {
+				w.C(c).Check(t, uint64(i))
+				x = x*2 + int64(i)
+				w.C(c).Increment(t, 1)
+			}
+		}
+		if out := w.Run(seed, bodies...); out.Deadlock {
+			t.Fatalf("seed %d deadlocked", seed)
+		}
+		if x != want {
+			t.Fatalf("seed %d: x = %d, model says %d", seed, x, want)
+		}
+	}
+}

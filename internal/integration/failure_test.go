@@ -1,0 +1,101 @@
+package integration_test
+
+import (
+	"testing"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/internal/core"
+	"monotonic/internal/sthreads"
+)
+
+// Failure injection: what happens to counter-synchronized programs when a
+// participant dies. Counters have no notion of abandonment (the paper's
+// model has no thread failure), so a dead publisher means dependents wait
+// forever — these tests pin the documented behaviour: bounded waits
+// observe the loss, the counter itself stays consistent and reusable, and
+// panic propagation works through the structured constructs.
+
+func TestPanickedPublisherLeavesCounterConsistent(t *testing.T) {
+	var c counter.Counter
+	sawPanic := false
+	func() {
+		defer func() { sawPanic = recover() != nil }()
+		sthreads.Block(sthreads.Concurrent,
+			func() {
+				c.Increment(1)
+				panic("publisher died before second increment")
+			},
+			func() {
+				// The first increment arrives; the second never does.
+				c.Check(1)
+				if c.WaitTimeout(2, 100*time.Millisecond) {
+					t.Error("level 2 reported reached; nobody published it")
+				}
+			},
+		)
+	}()
+	if !sawPanic {
+		t.Fatal("publisher panic not propagated through Block")
+	}
+	// The counter survived: its value reflects the increments that did
+	// happen, and it remains fully usable.
+	if !c.WaitTimeout(1, time.Second) {
+		t.Fatal("counter lost its value after a participant panicked")
+	}
+	c.Increment(1)
+	if !c.WaitTimeout(2, time.Second) {
+		t.Fatal("counter unusable after a participant panicked")
+	}
+}
+
+func TestDeadPublisherObservedByTimeout(t *testing.T) {
+	// A reader paced by WaitTimeout can distinguish "slow" from "dead":
+	// the paper's Check cannot, by design (no probe), so cancellation
+	// is the library extension that handles failure.
+	var c counter.Counter
+	progress := 0
+	sthreads.Block(sthreads.Concurrent,
+		func() {
+			c.Increment(3) // publishes items 0..2, then silently stops
+		},
+		func() {
+			for i := 0; i < 10; i++ {
+				if !c.WaitTimeout(uint64(i)+1, 150*time.Millisecond) {
+					return // observed the stall; give up cleanly
+				}
+				progress++
+			}
+		},
+	)
+	if progress != 3 {
+		t.Fatalf("reader consumed %d items, want exactly the 3 published", progress)
+	}
+}
+
+func TestPanicInForDoesNotCorruptSiblingResults(t *testing.T) {
+	results := make([]int, 8)
+	var c core.Counter
+	func() {
+		defer func() { recover() }()
+		sthreads.ForN(sthreads.Concurrent, 8, func(i int) {
+			if i == 3 {
+				panic("thread 3 died")
+			}
+			c.Check(0)
+			results[i] = i * i
+			c.Increment(1)
+		})
+	}()
+	for i, v := range results {
+		if i == 3 {
+			continue
+		}
+		if v != i*i {
+			t.Errorf("sibling %d result corrupted: %d", i, v)
+		}
+	}
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter value %d, want 7 (all but the dead thread)", got)
+	}
+}

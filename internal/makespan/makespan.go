@@ -1,0 +1,165 @@
+// Package makespan is a discrete-event model of multiprocessor execution,
+// substituting for the shared-memory multiprocessor the paper ran on (and
+// this reproduction environment lacks — the host has a single CPU, on
+// which barrier and ragged programs serialize to the same total work and
+// wall-clock comparisons cannot show overlap).
+//
+// The model is the standard one for time-stepped computations: thread t's
+// work in step s takes Work(t, s) time units on its own processor, and a
+// task starts as soon as its synchronization predecessors finish:
+//
+//   - Under an N-way barrier, every step-s task waits for ALL step-(s-1)
+//     tasks, so the makespan is sum over steps of the per-step maximum.
+//   - Under a ragged barrier (the paper's counter array, section 5.1),
+//     a task waits only for its own and its neighbours' previous-step
+//     tasks, so the makespan is the longest path through the local
+//     dependency DAG.
+//   - Under the APSP dataflow (section 4.5), a thread's iteration-k task
+//     waits for its own iteration k-1 and for the publication of row k.
+//
+// The ragged makespan can never exceed the barrier makespan (its
+// dependency set is a subset), and under per-step work variation it is
+// strictly smaller: a barrier charges the per-step maximum every step,
+// while local dependencies let delays average out — Lubachevsky's
+// classical observation, and exactly the paper's claimed advantage. The
+// E13 experiment measures the ratio for the paper's workloads.
+package makespan
+
+import (
+	"monotonic/internal/workload"
+)
+
+// WorkFunc gives the duration (in abstract time units) of thread t's task
+// in step s. Durations must be nonnegative.
+type WorkFunc func(t, s int) float64
+
+// Barrier returns the makespan of `threads` threads over `steps` steps
+// when every step ends in a full barrier: sum of per-step maxima.
+func Barrier(threads, steps int, work WorkFunc) float64 {
+	total := 0.0
+	for s := 0; s < steps; s++ {
+		max := 0.0
+		for t := 0; t < threads; t++ {
+			if w := work(t, s); w > max {
+				max = w
+			}
+		}
+		total += max
+	}
+	return total
+}
+
+// Ragged returns the makespan when thread t's step-s task depends only on
+// the step-(s-1) tasks of threads t-1, t, t+1 (the counter-array stencil
+// protocol): the longest path through the local DAG.
+func Ragged(threads, steps int, work WorkFunc) float64 {
+	if threads <= 0 || steps <= 0 {
+		return 0
+	}
+	finish := make([]float64, threads)
+	prev := make([]float64, threads)
+	for t := 0; t < threads; t++ {
+		finish[t] = work(t, 0)
+	}
+	for s := 1; s < steps; s++ {
+		prev, finish = finish, prev
+		for t := 0; t < threads; t++ {
+			ready := prev[t]
+			if t > 0 && prev[t-1] > ready {
+				ready = prev[t-1]
+			}
+			if t < threads-1 && prev[t+1] > ready {
+				ready = prev[t+1]
+			}
+			finish[t] = ready + work(t, s)
+		}
+	}
+	max := 0.0
+	for _, f := range finish {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// APSPDataflow returns the makespan of the section 4.5 counter program's
+// dependency structure: thread t's iteration-k task starts when its own
+// iteration k-1 task is done AND row k is published; the owner of row k+1
+// publishes it at the end of its iteration-k task. owner(k) maps a row to
+// the thread holding it (the paper's block rule).
+func APSPDataflow(threads, steps int, work WorkFunc, owner func(k int) int) float64 {
+	if threads <= 0 || steps <= 0 {
+		return 0
+	}
+	finish := make([]float64, threads) // finish of the previous iteration per thread
+	published := 0.0                   // time row k becomes available
+	for k := 0; k < steps; k++ {
+		nextPublished := 0.0
+		for t := 0; t < threads; t++ {
+			ready := finish[t]
+			if published > ready {
+				ready = published
+			}
+			finish[t] = ready + work(t, k)
+			if k+1 < steps && owner(k+1) == t {
+				// Row k+1 is published at the end of its owner's
+				// iteration-k task (a slight over-approximation: the
+				// real program publishes partway through the task).
+				nextPublished = finish[t]
+			}
+		}
+		published = nextPublished
+	}
+	max := 0.0
+	for _, f := range finish {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// APSPBarrier is the section 4.3 structure under the same work model:
+// every iteration ends in a full barrier.
+func APSPBarrier(threads, steps int, work WorkFunc) float64 {
+	return Barrier(threads, steps, work)
+}
+
+// BlockOwner returns the paper's block-partition owner function for n
+// rows over `threads` threads.
+func BlockOwner(n, threads int) func(k int) int {
+	return func(k int) int {
+		if k >= n {
+			k = n - 1
+		}
+		// Thread t owns rows [t*n/threads, (t+1)*n/threads).
+		for t := 0; t < threads; t++ {
+			if k < (t+1)*n/threads {
+				return t
+			}
+		}
+		return threads - 1
+	}
+}
+
+// NoisyWork builds a WorkFunc with mean duration `mean`, multiplied by a
+// static per-thread skew factor, plus uniform per-task noise in
+// [-noise, +noise] fraction of the mean. Deterministic from the seed.
+func NoisyWork(threads, steps int, mean float64, skew workload.Skew, noise float64, seed uint64) WorkFunc {
+	rng := workload.NewRNG(seed)
+	durations := make([]float64, threads*steps)
+	for t := 0; t < threads; t++ {
+		factor := skew.Factor(t, threads)
+		for s := 0; s < steps; s++ {
+			jitter := 1 + noise*(2*rng.Float64()-1)
+			durations[t*steps+s] = mean * factor * jitter
+		}
+	}
+	return func(t, s int) float64 { return durations[t*steps+s] }
+}
+
+// ConstantWork is the degenerate model where every task costs `mean`.
+func ConstantWork(mean float64) WorkFunc {
+	return func(t, s int) float64 { return mean }
+}

@@ -1,0 +1,190 @@
+package makespan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"monotonic/internal/workload"
+)
+
+func TestConstantWorkEqualMakespans(t *testing.T) {
+	// With identical task durations there is nothing for raggedness to
+	// exploit: both disciplines take steps*mean.
+	w := ConstantWork(2)
+	const threads, steps = 8, 50
+	want := 2.0 * steps
+	if got := Barrier(threads, steps, w); got != want {
+		t.Fatalf("barrier = %v, want %v", got, want)
+	}
+	if got := Ragged(threads, steps, w); got != want {
+		t.Fatalf("ragged = %v, want %v", got, want)
+	}
+}
+
+func TestRaggedNeverExceedsBarrier(t *testing.T) {
+	f := func(seed uint64, th8, st8, noise8 uint8) bool {
+		threads := int(th8%16) + 1
+		steps := int(st8%40) + 1
+		noise := float64(noise8%100) / 100
+		w := NoisyWork(threads, steps, 10, workload.Uniform{}, noise, seed)
+		b := Barrier(threads, steps, w)
+		r := Ragged(threads, steps, w)
+		return r <= b+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaggedStrictlyBetterUnderNoise(t *testing.T) {
+	// With substantial per-task variation the barrier pays the per-step
+	// maximum of all threads every step; local sync pays roughly the
+	// mean plus a boundary term. The advantage must be clearly visible.
+	w := NoisyWork(16, 400, 10, workload.Uniform{}, 0.9, 11)
+	b := Barrier(16, 400, w)
+	r := Ragged(16, 400, w)
+	if r >= b*0.95 {
+		t.Fatalf("ragged %v not clearly better than barrier %v under noise", r, b)
+	}
+}
+
+func TestBarrierIsSumOfMaxima(t *testing.T) {
+	w := func(t, s int) float64 { return float64(t + s) }
+	// threads=3: per-step max = 2+s; steps=4: sum = 2+3+4+5 = 14.
+	if got := Barrier(3, 4, w); got != 14 {
+		t.Fatalf("barrier = %v, want 14", got)
+	}
+}
+
+func TestRaggedLongestPathSmallCase(t *testing.T) {
+	// 2 threads, 2 steps. Work: t0 = [10, 1], t1 = [1, 1].
+	// Ragged: t1's step-1 task depends on both step-0 tasks (neighbour
+	// t0), so finish(t1,1) = max(10,1)+1 = 11; finish(t0,1) = 10+1 = 11.
+	w := func(t, s int) float64 {
+		if t == 0 && s == 0 {
+			return 10
+		}
+		return 1
+	}
+	if got := Ragged(2, 2, w); got != 11 {
+		t.Fatalf("ragged = %v, want 11", got)
+	}
+	// Barrier: max(10,1) + max(1,1) = 11 here too (2 threads are all
+	// neighbours of each other).
+	if got := Barrier(2, 2, w); got != 11 {
+		t.Fatalf("barrier = %v, want 11", got)
+	}
+}
+
+func TestRaggedLocalityDelaysPropagateSlowly(t *testing.T) {
+	// One huge task at thread 0, step 0; everything else costs 1. With
+	// 8 threads the delay reaches thread 7 only after 7 steps, so with
+	// few steps the far threads are unaffected and the makespan is set
+	// by thread 0's chain: 100 + steps-1.
+	w := func(t, s int) float64 {
+		if t == 0 && s == 0 {
+			return 100
+		}
+		return 1
+	}
+	const threads, steps = 8, 5
+	if got := Ragged(threads, steps, w); got != 104 {
+		t.Fatalf("ragged = %v, want 104", got)
+	}
+	// The barrier charges the delay to everyone immediately:
+	// 100 + 4*1 = 104 as well for the MAKESPAN, but the difference is
+	// in total waiting: compare with a second spike elsewhere.
+	w2 := func(t, s int) float64 {
+		if (t == 0 && s == 0) || (t == 7 && s == 2) {
+			return 100
+		}
+		return 1
+	}
+	// Barrier: steps 0 and 2 cost 100 each, steps 1,3,4 cost 1: 203.
+	if got := Barrier(threads, steps, w2); got != 203 {
+		t.Fatalf("barrier two-spike = %v, want 203", got)
+	}
+	// Ragged: the two spikes are far apart, so their delays overlap in
+	// time instead of adding: chain t0: 100+1+1+1+1 = 104; chain t7:
+	// 1+1+100+1+1 = 104. Neighbour mixing cannot add the spikes within
+	// 5 steps (distance 7), so makespan stays ~104.
+	if got := Ragged(threads, steps, w2); got != 104 {
+		t.Fatalf("ragged two-spike = %v, want 104", got)
+	}
+}
+
+func TestAPSPDataflowBeatsBarrierUnderNoise(t *testing.T) {
+	const threads, steps = 8, 200
+	owner := BlockOwner(steps, threads)
+	w := NoisyWork(threads, steps, 10, workload.Uniform{}, 0.9, 5)
+	b := APSPBarrier(threads, steps, w)
+	d := APSPDataflow(threads, steps, w, owner)
+	if d >= b {
+		t.Fatalf("dataflow %v not better than barrier %v", d, b)
+	}
+}
+
+func TestAPSPDataflowNeverExceedsBarrierPlusPublication(t *testing.T) {
+	f := func(seed uint64, th8, st8 uint8) bool {
+		threads := int(th8%8) + 1
+		steps := int(st8%40) + 2
+		w := NoisyWork(threads, steps, 10, workload.Linear{Max: 3}, 0.5, seed)
+		b := APSPBarrier(threads, steps, w)
+		d := APSPDataflow(threads, steps, w, BlockOwner(steps, threads))
+		// The dataflow's publication over-approximation can cost at
+		// most one task per iteration beyond the barrier bound; in
+		// practice it is far below. Just require <= barrier here.
+		return d <= b+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	w := ConstantWork(1)
+	if Ragged(0, 10, w) != 0 || Ragged(10, 0, w) != 0 {
+		t.Fatal("empty ragged nonzero")
+	}
+	if APSPDataflow(0, 10, w, func(int) int { return 0 }) != 0 {
+		t.Fatal("empty dataflow nonzero")
+	}
+	if Barrier(1, 3, w) != 3 || Ragged(1, 3, w) != 3 {
+		t.Fatal("single-thread disciplines differ")
+	}
+}
+
+func TestBlockOwner(t *testing.T) {
+	owner := BlockOwner(8, 4)
+	wantOwners := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for k, want := range wantOwners {
+		if got := owner(k); got != want {
+			t.Errorf("owner(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if owner(100) != 3 { // clamped
+		t.Error("owner beyond range not clamped")
+	}
+}
+
+func TestNoisyWorkDeterministicAndSkewed(t *testing.T) {
+	a := NoisyWork(4, 10, 10, workload.OneSlow{Max: 5}, 0.2, 9)
+	b := NoisyWork(4, 10, 10, workload.OneSlow{Max: 5}, 0.2, 9)
+	sumFast, sumSlow := 0.0, 0.0
+	for s := 0; s < 10; s++ {
+		if a(2, s) != b(2, s) {
+			t.Fatal("NoisyWork not deterministic")
+		}
+		sumFast += a(0, s)
+		sumSlow += a(3, s)
+	}
+	if sumSlow < 3*sumFast {
+		t.Fatalf("skew not applied: fast %v slow %v", sumFast, sumSlow)
+	}
+	for s := 0; s < 10; s++ {
+		if a(0, s) < 0 || math.IsNaN(a(0, s)) {
+			t.Fatal("invalid duration")
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package plate extends the paper's section 5.1 ragged barrier to two
+// dimensions: a time-stepped simulation of a rectangular plate whose
+// interior cell (i,j) at time t is a function of its four neighbours and
+// itself at time t-1 (five-point stencil), with fixed boundary cells.
+// "Similar boundary exchange requirements occur in most multithreaded
+// simulations of physical systems in one or more dimensions" (paper,
+// section 5.1).
+//
+// The plate is decomposed into a grid of tiles, one thread and one
+// counter per tile. A tile's counter reaching 2t-1 means the tile has
+// read all four neighbouring halos for step t; 2t means it has written
+// step t back. Each tile synchronizes with at most four neighbours —
+// pairwise, never globally — so the protocol is the paper's exactly,
+// lifted to a 2-D neighbourhood.
+package plate
+
+import (
+	"monotonic/internal/core"
+	"monotonic/internal/sthreads"
+	"monotonic/internal/sync2"
+	"monotonic/internal/workload"
+)
+
+// UpdateFunc computes a cell from its four neighbours and itself.
+type UpdateFunc func(up, left, self, right, down float64) float64
+
+// Heat is five-point explicit heat diffusion.
+func Heat(up, left, self, right, down float64) float64 {
+	return self + 0.125*(up+left+right+down-4*self)
+}
+
+// Grid is a rows x cols field stored row-major.
+type Grid struct {
+	Rows, Cols int
+	Cells      []float64
+}
+
+// NewGrid returns a zeroed grid.
+func NewGrid(rows, cols int) *Grid {
+	return &Grid{Rows: rows, Cols: cols, Cells: make([]float64, rows*cols)}
+}
+
+// At returns the value at (i, j).
+func (g *Grid) At(i, j int) float64 { return g.Cells[i*g.Cols+j] }
+
+// Set stores v at (i, j).
+func (g *Grid) Set(i, j int, v float64) { g.Cells[i*g.Cols+j] = v }
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	out := NewGrid(g.Rows, g.Cols)
+	copy(out.Cells, g.Cells)
+	return out
+}
+
+// Equal reports cell-exact equality.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.Rows != o.Rows || g.Cols != o.Cols {
+		return false
+	}
+	for i, v := range g.Cells {
+		if o.Cells[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HotEdges returns the canonical fixture: a rows x cols plate at zero
+// with the top edge at 100 and the left edge at 50.
+func HotEdges(rows, cols int) *Grid {
+	g := NewGrid(rows, cols)
+	for j := 0; j < cols; j++ {
+		g.Set(0, j, 100)
+	}
+	for i := 1; i < rows; i++ {
+		g.Set(i, 0, 50)
+	}
+	return g
+}
+
+// RunSequential advances the plate numSteps steps double-buffered; the
+// oracle for the parallel variants (cell updates are independent, so the
+// result is bit-identical regardless of evaluation order).
+func RunSequential(initial *Grid, numSteps int, f UpdateFunc) *Grid {
+	cur := initial.Clone()
+	next := initial.Clone()
+	for t := 0; t < numSteps; t++ {
+		for i := 1; i < cur.Rows-1; i++ {
+			for j := 1; j < cur.Cols-1; j++ {
+				next.Set(i, j, f(cur.At(i-1, j), cur.At(i, j-1), cur.At(i, j), cur.At(i, j+1), cur.At(i+1, j)))
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// tiling describes the tile decomposition of the interior.
+type tiling struct {
+	tr, tc int // tile grid dimensions
+	rows   int // interior rows
+	cols   int // interior cols
+}
+
+func (t tiling) rowBounds(ti int) (lo, hi int) {
+	return 1 + ti*t.rows/t.tr, 1 + (ti+1)*t.rows/t.tr
+}
+
+func (t tiling) colBounds(tj int) (lo, hi int) {
+	return 1 + tj*t.cols/t.tc, 1 + (tj+1)*t.cols/t.tc
+}
+
+// RunBarrier is the traditional variant: all tiles cross a global
+// barrier between computing a step into private buffers and writing it
+// back.
+func RunBarrier(initial *Grid, numSteps, tileRows, tileCols int, f UpdateFunc, skew workload.Skew) *Grid {
+	g := initial.Clone()
+	til, ok := makeTiling(g, tileRows, tileCols)
+	if !ok || numSteps == 0 {
+		return g
+	}
+	b := sync2.NewBarrier(til.tr * til.tc)
+	sthreads.ForN(sthreads.Concurrent, til.tr*til.tc, func(tid int) {
+		ti, tj := tid/til.tc, tid%til.tc
+		rlo, rhi := til.rowBounds(ti)
+		clo, chi := til.colBounds(tj)
+		buf := make([]float64, (rhi-rlo)*(chi-clo))
+		for s := 0; s < numSteps; s++ {
+			k := 0
+			for i := rlo; i < rhi; i++ {
+				for j := clo; j < chi; j++ {
+					buf[k] = f(g.At(i-1, j), g.At(i, j-1), g.At(i, j), g.At(i, j+1), g.At(i+1, j))
+					k++
+				}
+			}
+			if skew != nil {
+				workload.SpinSkewed(skew, tid, til.tr*til.tc, 300)
+			}
+			b.Pass()
+			k = 0
+			for i := rlo; i < rhi; i++ {
+				for j := clo; j < chi; j++ {
+					g.Set(i, j, buf[k])
+					k++
+				}
+			}
+			b.Pass()
+		}
+	})
+	return g
+}
+
+// RunCounter is the ragged variant: one counter per tile, the paper's
+// two-phase protocol against the (up to) four neighbouring tiles.
+// Off-plate neighbours are represented by pre-satisfied virtual counters,
+// exactly like the paper's boundary counters.
+func RunCounter(initial *Grid, numSteps, tileRows, tileCols int, f UpdateFunc, skew workload.Skew) *Grid {
+	g := initial.Clone()
+	til, ok := makeTiling(g, tileRows, tileCols)
+	if !ok || numSteps == 0 {
+		return g
+	}
+	nTiles := til.tr * til.tc
+	counters := make([]*core.Counter, nTiles)
+	for i := range counters {
+		counters[i] = core.New()
+	}
+	virtual := core.New()
+	virtual.Increment(uint64(2 * numSteps))
+	// neighbour returns tile (ti,tj)'s counter or the pre-satisfied
+	// virtual counter if off-grid.
+	neighbour := func(ti, tj int) *core.Counter {
+		if ti < 0 || ti >= til.tr || tj < 0 || tj >= til.tc {
+			return virtual
+		}
+		return counters[ti*til.tc+tj]
+	}
+	sthreads.ForN(sthreads.Concurrent, nTiles, func(tid int) {
+		ti, tj := tid/til.tc, tid%til.tc
+		rlo, rhi := til.rowBounds(ti)
+		clo, chi := til.colBounds(tj)
+		me := counters[tid]
+		nbrs := []*core.Counter{
+			neighbour(ti-1, tj), neighbour(ti+1, tj),
+			neighbour(ti, tj-1), neighbour(ti, tj+1),
+		}
+		h, w := rhi-rlo, chi-clo
+		buf := make([]float64, h*w)
+		// Halo copies: the four border strips of neighbouring tiles.
+		up := make([]float64, w)
+		down := make([]float64, w)
+		left := make([]float64, h)
+		right := make([]float64, h)
+		for s := 1; s <= numSteps; s++ {
+			ss := uint64(s)
+			// Phase 1: read halos once every neighbour finished s-1.
+			for _, nb := range nbrs {
+				nb.Check(2*ss - 2)
+			}
+			for j := clo; j < chi; j++ {
+				up[j-clo] = g.At(rlo-1, j)
+				down[j-clo] = g.At(rhi, j)
+			}
+			for i := rlo; i < rhi; i++ {
+				left[i-rlo] = g.At(i, clo-1)
+				right[i-rlo] = g.At(i, chi)
+			}
+			me.Increment(1) // halos read; neighbours may overwrite their edges
+			// Compute from owned cells plus the saved halos.
+			k := 0
+			for i := rlo; i < rhi; i++ {
+				for j := clo; j < chi; j++ {
+					u := up[j-clo]
+					if i > rlo {
+						u = g.At(i-1, j)
+					}
+					d := down[j-clo]
+					if i < rhi-1 {
+						d = g.At(i+1, j)
+					}
+					l := left[i-rlo]
+					if j > clo {
+						l = g.At(i, j-1)
+					}
+					r := right[i-rlo]
+					if j < chi-1 {
+						r = g.At(i, j+1)
+					}
+					buf[k] = f(u, l, g.At(i, j), r, d)
+					k++
+				}
+			}
+			if skew != nil {
+				workload.SpinSkewed(skew, tid, nTiles, 300)
+			}
+			// Phase 2: write back once every neighbour has read our
+			// edges for step s.
+			for _, nb := range nbrs {
+				nb.Check(2*ss - 1)
+			}
+			k = 0
+			for i := rlo; i < rhi; i++ {
+				for j := clo; j < chi; j++ {
+					g.Set(i, j, buf[k])
+					k++
+				}
+			}
+			me.Increment(1) // step s published
+		}
+	})
+	return g
+}
+
+// makeTiling clamps the tile grid to the interior size and reports
+// whether there is any interior to simulate.
+func makeTiling(g *Grid, tileRows, tileCols int) (tiling, bool) {
+	rows, cols := g.Rows-2, g.Cols-2
+	if rows <= 0 || cols <= 0 {
+		return tiling{}, false
+	}
+	if tileRows < 1 {
+		tileRows = 1
+	}
+	if tileCols < 1 {
+		tileCols = 1
+	}
+	if tileRows > rows {
+		tileRows = rows
+	}
+	if tileCols > cols {
+		tileCols = cols
+	}
+	return tiling{tr: tileRows, tc: tileCols, rows: rows, cols: cols}, true
+}

@@ -1,0 +1,140 @@
+package plate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"monotonic/internal/workload"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(3, 4)
+	g.Set(1, 2, 7.5)
+	if g.At(1, 2) != 7.5 {
+		t.Fatal("Set/At broken")
+	}
+	c := g.Clone()
+	c.Set(0, 0, 1)
+	if g.At(0, 0) == 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if g.Equal(NewGrid(4, 3)) {
+		t.Fatal("different shapes equal")
+	}
+	if !g.Equal(g.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestHotEdgesFixture(t *testing.T) {
+	g := HotEdges(4, 5)
+	if g.At(0, 3) != 100 || g.At(2, 0) != 50 {
+		t.Fatal("fixture edges wrong")
+	}
+	if g.At(2, 2) != 0 {
+		t.Fatal("fixture interior nonzero")
+	}
+}
+
+func TestSequentialBoundaryFixed(t *testing.T) {
+	g := RunSequential(HotEdges(8, 8), 100, Heat)
+	for j := 0; j < 8; j++ {
+		if g.At(0, j) != 100 {
+			t.Fatal("top edge changed")
+		}
+	}
+	for i := 1; i < 8; i++ {
+		if g.At(i, 0) != 50 {
+			t.Fatal("left edge changed")
+		}
+	}
+}
+
+func TestZeroStepsIdentity(t *testing.T) {
+	init := HotEdges(6, 7)
+	if !RunSequential(init, 0, Heat).Equal(init) {
+		t.Fatal("sequential zero steps changed grid")
+	}
+	if !RunBarrier(init, 0, 2, 2, Heat, nil).Equal(init) {
+		t.Fatal("barrier zero steps changed grid")
+	}
+	if !RunCounter(init, 0, 2, 2, Heat, nil).Equal(init) {
+		t.Fatal("counter zero steps changed grid")
+	}
+}
+
+func TestNoInteriorIsNoOp(t *testing.T) {
+	for _, dims := range [][2]int{{2, 5}, {5, 2}, {1, 1}, {2, 2}} {
+		init := HotEdges(dims[0], dims[1])
+		if !RunCounter(init, 5, 2, 2, Heat, nil).Equal(init) {
+			t.Fatalf("%v: interior-free plate changed", dims)
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the headline: both parallel variants
+// are bit-identical to the oracle across tile shapes.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, dims := range [][2]int{{5, 5}, {8, 6}, {12, 12}, {9, 17}} {
+		init := HotEdges(dims[0], dims[1])
+		for _, steps := range []int{1, 2, 9} {
+			want := RunSequential(init, steps, Heat)
+			for _, tiles := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {3, 2}, {4, 4}} {
+				if got := RunBarrier(init, steps, tiles[0], tiles[1], Heat, nil); !got.Equal(want) {
+					t.Errorf("dims=%v steps=%d tiles=%v: barrier diverged", dims, steps, tiles)
+				}
+				if got := RunCounter(init, steps, tiles[0], tiles[1], Heat, nil); !got.Equal(want) {
+					t.Errorf("dims=%v steps=%d tiles=%v: counter diverged", dims, steps, tiles)
+				}
+			}
+		}
+	}
+}
+
+func TestSkewDoesNotChangeResults(t *testing.T) {
+	init := HotEdges(10, 10)
+	want := RunSequential(init, 6, Heat)
+	for _, sk := range []workload.Skew{workload.OneSlow{Max: 5}, workload.Alternating{Max: 3}} {
+		if got := RunCounter(init, 6, 2, 3, Heat, sk); !got.Equal(want) {
+			t.Errorf("skew %s: counter diverged", sk.Name())
+		}
+		if got := RunBarrier(init, 6, 2, 3, Heat, sk); !got.Equal(want) {
+			t.Errorf("skew %s: barrier diverged", sk.Name())
+		}
+	}
+}
+
+func TestTileClamping(t *testing.T) {
+	init := HotEdges(5, 5) // 3x3 interior
+	want := RunSequential(init, 4, Heat)
+	if got := RunCounter(init, 4, 10, 10, Heat, nil); !got.Equal(want) {
+		t.Fatal("clamped tiling diverged")
+	}
+	if got := RunCounter(init, 4, 0, -1, Heat, nil); !got.Equal(want) {
+		t.Fatal("degenerate tile params diverged")
+	}
+}
+
+// TestQuickRandomPlates: property test over random initial fields and
+// tilings.
+func TestQuickRandomPlates(t *testing.T) {
+	avg := func(u, l, s, r, d float64) float64 { return (u + l + s + r + d) / 5 }
+	f := func(seed uint64, r8, c8, tr8, tc8, st8 uint8) bool {
+		rows := int(r8%12) + 3
+		cols := int(c8%12) + 3
+		tr := int(tr8%4) + 1
+		tc := int(tc8%4) + 1
+		steps := int(st8%6) + 1
+		rng := workload.NewRNG(seed)
+		init := NewGrid(rows, cols)
+		for i := range init.Cells {
+			init.Cells[i] = rng.Float64() * 100
+		}
+		want := RunSequential(init, steps, avg)
+		return RunCounter(init, steps, tr, tc, avg, nil).Equal(want) &&
+			RunBarrier(init, steps, tr, tc, avg, nil).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package ring implements a bounded single-writer broadcast ring buffer
+// whose only synchronization is monotonic counters — the flow-controlled
+// variant of the paper's section 5.3 broadcast, and a counterpart to its
+// remark that counters do not fit the classical bounded buffer.
+//
+// The paper's bounded-buffer caveat concerns the *multiple-writers,
+// consuming-readers* buffer, where a slot's reuse depends on "some reader
+// took the item" — an inherently nondeterministic event that suits
+// semaphores. With a *fixed set of known readers*, each reading the whole
+// sequence (broadcast semantics), slot reuse is a deterministic dataflow
+// condition: slot i%capacity may be overwritten once every reader's
+// position counter has passed i - capacity + 1. That condition is
+// expressible with one monotonic counter per reader plus one for the
+// writer — the same structure as the sequences of LMAX Disruptor-style
+// rings, which this package deliberately mirrors.
+//
+// All blocking is counter Check calls; there are no locks or channels in
+// the data path.
+package ring
+
+import (
+	"monotonic/internal/core"
+)
+
+// Ring is a bounded broadcast ring for a single writer and a fixed set of
+// readers. Every reader sees every item, in order.
+type Ring[T any] struct {
+	buf       []T
+	capacity  uint64
+	published *core.Counter   // writer's position: items [0, published) are readable
+	consumed  []*core.Counter // per-reader position: items [0, consumed[r]) are done
+}
+
+// New returns a ring with the given capacity and reader count. It panics
+// if capacity < 1 or readers < 1 (a broadcast needs someone to free
+// slots; see the package comment for why dynamic readers are out of
+// scope for counters).
+func New[T any](capacity, readers int) *Ring[T] {
+	if capacity < 1 {
+		panic("ring: New requires capacity >= 1")
+	}
+	if readers < 1 {
+		panic("ring: New requires readers >= 1")
+	}
+	r := &Ring[T]{
+		buf:       make([]T, capacity),
+		capacity:  uint64(capacity),
+		published: core.New(),
+		consumed:  make([]*core.Counter, readers),
+	}
+	for i := range r.consumed {
+		r.consumed[i] = core.New()
+	}
+	return r
+}
+
+// Readers returns the number of registered readers.
+func (r *Ring[T]) Readers() int { return len(r.consumed) }
+
+// Capacity returns the ring capacity.
+func (r *Ring[T]) Capacity() int { return int(r.capacity) }
+
+// Publish writes item i (items must be published with consecutive i
+// starting at 0; Writer handles this bookkeeping). It blocks until the
+// slot is free: every reader must have consumed item i - capacity.
+func (r *Ring[T]) publish(i uint64, item T) {
+	if i >= r.capacity {
+		need := i - r.capacity + 1
+		for _, c := range r.consumed {
+			c.Check(need)
+		}
+	}
+	r.buf[i%r.capacity] = item
+	r.published.Increment(1)
+}
+
+// get returns item i for reader rd, blocking until published, and marks
+// it consumed.
+func (r *Ring[T]) get(rd int, i uint64) T {
+	r.published.Check(i + 1)
+	item := r.buf[i%r.capacity]
+	r.consumed[rd].Increment(1)
+	return item
+}
+
+// Writer returns the ring's single writer handle. Call it exactly once.
+type Writer[T any] struct {
+	r    *Ring[T]
+	next uint64
+}
+
+// Writer returns the write handle.
+func (r *Ring[T]) Writer() *Writer[T] { return &Writer[T]{r: r} }
+
+// Publish appends an item, blocking while the ring is full (i.e. until
+// the slowest reader frees the slot).
+func (w *Writer[T]) Publish(item T) {
+	w.r.publish(w.next, item)
+	w.next++
+}
+
+// Reader is one reader's cursor. Reader rd must be driven by exactly one
+// goroutine.
+type Reader[T any] struct {
+	r    *Ring[T]
+	id   int
+	next uint64
+}
+
+// Reader returns the handle for reader rd in [0, Readers()).
+func (r *Ring[T]) Reader(rd int) *Reader[T] {
+	if rd < 0 || rd >= len(r.consumed) {
+		panic("ring: reader index out of range")
+	}
+	return &Reader[T]{r: r, id: rd}
+}
+
+// Next returns the next item, blocking until the writer publishes it.
+func (rd *Reader[T]) Next() T {
+	item := rd.r.get(rd.id, rd.next)
+	rd.next++
+	return item
+}

@@ -1,0 +1,209 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSingleReaderFIFO(t *testing.T) {
+	r := New[int](4, 1)
+	w := r.Writer()
+	rd := r.Reader(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if got := rd.Next(); got != i {
+				t.Errorf("item %d read as %d", i, got)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		w.Publish(i)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader never finished")
+	}
+}
+
+func TestBroadcastAllReadersSeeAll(t *testing.T) {
+	const items = 500
+	const readers = 3
+	r := New[int](8, readers)
+	var wg sync.WaitGroup
+	sums := make([]int, readers)
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			cursor := r.Reader(rd)
+			for i := 0; i < items; i++ {
+				v := cursor.Next()
+				if v != i {
+					t.Errorf("reader %d item %d = %d", rd, i, v)
+					return
+				}
+				sums[rd] += v
+			}
+		}(rd)
+	}
+	w := r.Writer()
+	for i := 0; i < items; i++ {
+		w.Publish(i)
+	}
+	wg.Wait()
+	want := items * (items - 1) / 2
+	for rd, s := range sums {
+		if s != want {
+			t.Errorf("reader %d sum %d, want %d", rd, s, want)
+		}
+	}
+}
+
+func TestWriterBlocksWhenFull(t *testing.T) {
+	r := New[int](2, 1)
+	w := r.Writer()
+	w.Publish(0)
+	w.Publish(1)
+	third := make(chan struct{})
+	go func() {
+		w.Publish(2) // must block: reader has consumed nothing
+		close(third)
+	}()
+	select {
+	case <-third:
+		t.Fatal("Publish succeeded on a full ring")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rd := r.Reader(0)
+	if rd.Next() != 0 {
+		t.Fatal("wrong first item")
+	}
+	select {
+	case <-third:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish never unblocked after consumption")
+	}
+}
+
+func TestSlowestReaderGovernsBackpressure(t *testing.T) {
+	r := New[int](2, 2)
+	w := r.Writer()
+	fast := r.Reader(0)
+	slow := r.Reader(1)
+	w.Publish(10)
+	w.Publish(11)
+	if fast.Next() != 10 || fast.Next() != 11 {
+		t.Fatal("fast reader wrong items")
+	}
+	blocked := make(chan struct{})
+	go func() {
+		w.Publish(12) // slot 0 still held by the slow reader
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("Publish ignored the slow reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if slow.Next() != 10 {
+		t.Fatal("slow reader wrong item")
+	}
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish never unblocked")
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	r := New[string](1, 2)
+	var wg sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			cursor := r.Reader(rd)
+			for _, want := range []string{"a", "b", "c"} {
+				if got := cursor.Next(); got != want {
+					t.Errorf("reader %d got %q want %q", rd, got, want)
+				}
+			}
+		}(rd)
+	}
+	w := r.Writer()
+	for _, s := range []string{"a", "b", "c"} {
+		w.Publish(s)
+	}
+	wg.Wait()
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New[int](0, 1) },
+		func() { New[int](1, 0) },
+		func() { New[int](4, 2).Reader(2) },
+		func() { New[int](4, 2).Reader(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickRingDeliversSequence: property test across capacities, reader
+// counts, and item counts.
+func TestQuickRingDeliversSequence(t *testing.T) {
+	f := func(cap8, readers8, items8 uint8) bool {
+		capacity := int(cap8%8) + 1
+		readers := int(readers8%4) + 1
+		items := int(items8%200) + 1
+		r := New[int](capacity, readers)
+		var wg sync.WaitGroup
+		ok := make([]bool, readers)
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func(rd int) {
+				defer wg.Done()
+				cursor := r.Reader(rd)
+				for i := 0; i < items; i++ {
+					if cursor.Next() != i*7 {
+						return
+					}
+				}
+				ok[rd] = true
+			}(rd)
+		}
+		w := r.Writer()
+		for i := 0; i < items; i++ {
+			w.Publish(i * 7)
+		}
+		wg.Wait()
+		for _, o := range ok {
+			if !o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := New[int](5, 3)
+	if r.Capacity() != 5 || r.Readers() != 3 {
+		t.Fatalf("Capacity/Readers = %d/%d", r.Capacity(), r.Readers())
+	}
+}

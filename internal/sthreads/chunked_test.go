@@ -1,0 +1,128 @@
+package sthreads
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForChunkedCoversRangeExactly(t *testing.T) {
+	f := func(n8, chunks8 uint8) bool {
+		n := int(n8 % 100)
+		chunks := int(chunks8%12) + 1
+		for _, mode := range Modes {
+			covered := make([]int32, n)
+			var mu sync.Mutex
+			var seenChunks []int
+			ForChunked(mode, n, chunks, func(chunk, lo, hi int) {
+				mu.Lock()
+				seenChunks = append(seenChunks, chunk)
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			if len(seenChunks) != chunks {
+				return false
+			}
+			for _, c := range covered {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForChunkedBlocksAreContiguousAndOrdered(t *testing.T) {
+	type rng struct{ lo, hi int }
+	var mu sync.Mutex
+	got := make([]rng, 5)
+	ForChunked(Sequential, 23, 5, func(chunk, lo, hi int) {
+		mu.Lock()
+		got[chunk] = rng{lo, hi}
+		mu.Unlock()
+	})
+	prev := 0
+	for i, r := range got {
+		if r.lo != prev {
+			t.Fatalf("chunk %d starts at %d, want %d", i, r.lo, prev)
+		}
+		if r.hi < r.lo {
+			t.Fatalf("chunk %d inverted: %+v", i, r)
+		}
+		prev = r.hi
+	}
+	if prev != 23 {
+		t.Fatalf("chunks end at %d, want 23", prev)
+	}
+}
+
+func TestForChunkedPanicsOnBadChunks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForChunked with 0 chunks did not panic")
+		}
+	}()
+	ForChunked(Concurrent, 10, 0, func(int, int, int) {})
+}
+
+func TestForLimitedRunsAll(t *testing.T) {
+	var count atomic.Int64
+	ForLimited(Concurrent, 100, 4, func(i int) { count.Add(1) })
+	if count.Load() != 100 {
+		t.Fatalf("ran %d bodies", count.Load())
+	}
+}
+
+func TestForLimitedRespectsLimit(t *testing.T) {
+	const limit = 3
+	var inside, peak atomic.Int64
+	ForLimited(Concurrent, 64, limit, func(i int) {
+		cur := inside.Add(1)
+		for {
+			m := peak.Load()
+			if cur <= m || peak.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		// Encourage overlap: yield so other bodies get a chance to
+		// enter while this one is "working".
+		for y := 0; y < 5; y++ {
+			yieldNow()
+		}
+		inside.Add(-1)
+	})
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestForLimitedSequentialAndUnitLimit(t *testing.T) {
+	var order []int
+	ForLimited(Sequential, 5, 3, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+	order = nil
+	ForLimited(Concurrent, 5, 1, func(i int) { order = append(order, i) })
+	if len(order) != 5 {
+		t.Fatalf("unit limit ran %d bodies", len(order))
+	}
+}
+
+func TestForLimitedPanicsOnBadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForLimited with 0 limit did not panic")
+		}
+	}()
+	ForLimited(Concurrent, 10, 0, func(int) {})
+}

@@ -1,0 +1,39 @@
+package sthreads_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"monotonic/internal/sthreads"
+)
+
+// A multithreaded for-loop joins before continuing; Sequential mode runs
+// the same bodies in program order ("ignoring the multithreaded
+// keyword").
+func ExampleFor() {
+	var sum atomic.Int64
+	sthreads.For(sthreads.Concurrent, 0, 10, 1, func(i int) {
+		sum.Add(int64(i))
+	})
+	fmt.Println("concurrent:", sum.Load())
+
+	order := []int{}
+	sthreads.For(sthreads.Sequential, 0, 4, 1, func(i int) {
+		order = append(order, i)
+	})
+	fmt.Println("sequential:", order)
+	// Output:
+	// concurrent: 45
+	// sequential: [0 1 2 3]
+}
+
+// A multithreaded block runs its statements as threads and joins.
+func ExampleBlock() {
+	var a, b atomic.Bool
+	sthreads.Block(sthreads.Concurrent,
+		func() { a.Store(true) },
+		func() { b.Store(true) },
+	)
+	fmt.Println(a.Load(), b.Load())
+	// Output: true true
+}

@@ -1,0 +1,193 @@
+// Package sthreads implements the structured multithreaded programming
+// model the paper uses throughout (section 3): Dijkstra-style
+// parbegin/parend blocks and quantified multithreaded for-loops, in the
+// style of the authors' Sthreads system (Thornley, Chandy, Ishii, USENIX NT
+// 1998) and CC++.
+//
+// Two constructs are provided:
+//
+//   - Block(fns...): run the statements of a multithreaded block as
+//     asynchronous threads sharing the caller's address space; execution
+//     does not continue past the block until all have terminated.
+//   - For(lo, hi, step, body): run the iterations of a multithreaded
+//     for-loop as asynchronous threads, each with its own copy of the
+//     control variable; join before continuing.
+//
+// Both constructs take a Mode. Concurrent runs bodies on goroutines —
+// ordinary multithreaded execution. Sequential executes the same bodies
+// one after another in program order, which is precisely "execution
+// ignoring the multithreaded keyword" from section 6 of the paper: the
+// foundation of the sequential-equivalence experiments (E9). Programs
+// synchronized only with counters and with guarded shared variables must
+// produce identical results under both modes.
+//
+// Constructs nest arbitrarily, and panics in bodies propagate to the
+// caller after all sibling threads terminate, preserving the
+// single-entry/single-exit structure the notation requires.
+package sthreads
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mode selects how a multithreaded construct executes its threads.
+type Mode int
+
+const (
+	// Concurrent runs each statement or iteration on its own goroutine.
+	Concurrent Mode = iota
+	// Sequential runs statements/iterations in program order on the
+	// calling goroutine — section 6's "execution ignoring the
+	// multithreaded keyword".
+	Sequential
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Concurrent:
+		return "concurrent"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists both execution modes, for table-driven equivalence tests.
+var Modes = []Mode{Sequential, Concurrent}
+
+// panicError carries a body panic across the join so it can be re-panicked
+// in the caller with context.
+type panicError struct {
+	index int
+	value any
+}
+
+func (p panicError) Error() string {
+	return fmt.Sprintf("sthreads: thread %d panicked: %v", p.index, p.value)
+}
+
+// Block executes fns as the statements of a multithreaded block and
+// returns when every one has terminated. In Sequential mode the functions
+// run in order on the calling goroutine. If any function panics, Block
+// panics with the first (lowest-index) panic value after all functions
+// have terminated.
+func Block(mode Mode, fns ...func()) {
+	if mode == Sequential {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	panics := make([]*panicError, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func()) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = &panicError{index: i, value: r}
+				}
+			}()
+			fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(*p)
+		}
+	}
+}
+
+// For executes body(i) for i = lo; i < hi; i += step as the iterations of
+// a multithreaded for-loop and returns when every iteration has
+// terminated. Each thread receives its own copy of the control variable,
+// as the notation requires. step must be positive; For panics otherwise.
+// In Sequential mode iterations run in ascending order on the calling
+// goroutine. If any iteration panics, For panics with the lowest-index
+// panic value after all iterations have terminated.
+func For(mode Mode, lo, hi, step int, body func(i int)) {
+	if step <= 0 {
+		panic("sthreads: For requires a positive step")
+	}
+	if mode == Sequential {
+		for i := lo; i < hi; i += step {
+			body(i)
+		}
+		return
+	}
+	n := 0
+	for i := lo; i < hi; i += step {
+		n++
+	}
+	panics := make([]*panicError, n)
+	var wg sync.WaitGroup
+	idx := 0
+	for i := lo; i < hi; i += step {
+		wg.Add(1)
+		go func(slot, i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[slot] = &panicError{index: i, value: r}
+				}
+			}()
+			body(i)
+		}(idx, i)
+		idx++
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(*p)
+		}
+	}
+}
+
+// ForN is For over the common range [0, n) with step 1.
+func ForN(mode Mode, n int, body func(i int)) {
+	For(mode, 0, n, 1, body)
+}
+
+// ForChunked executes body(lo, hi) for the numChunks block sub-ranges of
+// [0, n) produced by the paper's t*N/numThreads partition rule, one thread
+// per chunk. Chunks may be empty when numChunks > n (the body still runs,
+// with lo == hi). It panics if numChunks < 1.
+func ForChunked(mode Mode, n, numChunks int, body func(chunk, lo, hi int)) {
+	if numChunks < 1 {
+		panic("sthreads: ForChunked requires numChunks >= 1")
+	}
+	ForN(mode, numChunks, func(t int) {
+		body(t, t*n/numChunks, (t+1)*n/numChunks)
+	})
+}
+
+// ForLimited is ForN with at most maxConcurrent bodies running at once —
+// bounded parallelism for iteration counts far above the processor count.
+// In Sequential mode the limit is irrelevant (bodies run one at a time),
+// and maxConcurrent == 1 likewise degenerates to sequential execution in
+// index order. It panics if maxConcurrent < 1.
+func ForLimited(mode Mode, n, maxConcurrent int, body func(i int)) {
+	if maxConcurrent < 1 {
+		panic("sthreads: ForLimited requires maxConcurrent >= 1")
+	}
+	if mode == Sequential || maxConcurrent == 1 {
+		ForN(Sequential, n, body)
+		return
+	}
+	sem := make(chan struct{}, maxConcurrent)
+	ForN(mode, n, func(i int) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		body(i)
+	})
+}
+
+// yieldNow cedes the processor once; tests use it to encourage
+// interleaving on single-P runtimes.
+func yieldNow() { runtime.Gosched() }

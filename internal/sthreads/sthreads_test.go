@@ -1,0 +1,247 @@
+package sthreads
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"monotonic/internal/core"
+)
+
+func TestBlockRunsAllStatements(t *testing.T) {
+	for _, mode := range Modes {
+		var a, b, c atomic.Bool
+		Block(mode,
+			func() { a.Store(true) },
+			func() { b.Store(true) },
+			func() { c.Store(true) },
+		)
+		if !a.Load() || !b.Load() || !c.Load() {
+			t.Fatalf("%v: not all statements ran", mode)
+		}
+	}
+}
+
+func TestBlockEmpty(t *testing.T) {
+	for _, mode := range Modes {
+		Block(mode) // must not hang or panic
+	}
+}
+
+func TestBlockJoinsBeforeReturning(t *testing.T) {
+	var done atomic.Int32
+	Block(Concurrent,
+		func() { done.Add(1) },
+		func() { done.Add(1) },
+	)
+	if done.Load() != 2 {
+		t.Fatal("Block returned before all threads terminated")
+	}
+}
+
+func TestForIterationRange(t *testing.T) {
+	for _, mode := range Modes {
+		var mu sync.Mutex
+		var seen []int
+		For(mode, 2, 11, 3, func(i int) {
+			mu.Lock()
+			seen = append(seen, i)
+			mu.Unlock()
+		})
+		sort.Ints(seen)
+		want := []int{2, 5, 8}
+		if len(seen) != len(want) {
+			t.Fatalf("%v: seen %v, want %v", mode, seen, want)
+		}
+		for i := range want {
+			if seen[i] != want[i] {
+				t.Fatalf("%v: seen %v, want %v", mode, seen, want)
+			}
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	for _, mode := range Modes {
+		ran := false
+		For(mode, 5, 5, 1, func(int) { ran = true })
+		For(mode, 7, 3, 1, func(int) { ran = true })
+		if ran {
+			t.Fatalf("%v: body ran on empty range", mode)
+		}
+	}
+}
+
+func TestForNonPositiveStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("For with step 0 did not panic")
+		}
+	}()
+	For(Concurrent, 0, 10, 0, func(int) {})
+}
+
+func TestSequentialOrder(t *testing.T) {
+	var order []int
+	For(Sequential, 0, 5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+	var blockOrder []string
+	Block(Sequential,
+		func() { blockOrder = append(blockOrder, "a") },
+		func() { blockOrder = append(blockOrder, "b") },
+	)
+	if strings.Join(blockOrder, "") != "ab" {
+		t.Fatalf("sequential block order %v", blockOrder)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	for _, mode := range Modes {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%v: panic not propagated", mode)
+				}
+				pe, ok := r.(panicError)
+				if mode == Concurrent {
+					if !ok {
+						t.Fatalf("%v: recovered %T, want panicError", mode, r)
+					}
+					if pe.value != "boom" {
+						t.Fatalf("%v: panic value %v", mode, pe.value)
+					}
+				}
+			}()
+			Block(mode,
+				func() {},
+				func() { panic("boom") },
+			)
+		}()
+	}
+}
+
+func TestPanicWaitsForSiblings(t *testing.T) {
+	var finished atomic.Bool
+	func() {
+		defer func() { recover() }()
+		Block(Concurrent,
+			func() { panic("early") },
+			func() {
+				for i := 0; i < 1000; i++ {
+					_ = i * i
+				}
+				finished.Store(true)
+			},
+		)
+	}()
+	if !finished.Load() {
+		t.Fatal("Block panicked before sibling thread terminated")
+	}
+}
+
+func TestLowestIndexPanicWins(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(panicError)
+		if !ok || pe.index != 0 {
+			t.Fatalf("recovered %v, want panic from thread 0", pe)
+		}
+	}()
+	Block(Concurrent,
+		func() { panic("first") },
+		func() { panic("second") },
+	)
+}
+
+func TestNesting(t *testing.T) {
+	for _, outer := range Modes {
+		for _, inner := range Modes {
+			var total atomic.Int64
+			For(outer, 0, 4, 1, func(i int) {
+				For(inner, 0, 8, 1, func(j int) {
+					total.Add(int64(i*8 + j))
+				})
+			})
+			want := int64(31 * 32 / 2)
+			if total.Load() != want {
+				t.Fatalf("outer=%v inner=%v: total=%d want %d", outer, inner, total.Load(), want)
+			}
+		}
+	}
+}
+
+// TestSection6CounterProgram runs the deterministic two-thread counter
+// program from section 6 under both modes; x must always become (x+1)*2.
+func TestSection6CounterProgram(t *testing.T) {
+	for _, mode := range Modes {
+		for trial := 0; trial < 50; trial++ {
+			x := 3
+			xCount := core.New()
+			Block(mode,
+				func() { xCount.Check(0); x = x + 1; xCount.Increment(1) },
+				func() { xCount.Check(1); x = x * 2; xCount.Increment(1) },
+			)
+			if x != 8 {
+				t.Fatalf("%v trial %d: x=%d, want 8 (deterministic)", mode, trial, x)
+			}
+		}
+	}
+}
+
+// TestQuickForCoversRange: For visits exactly the set {lo, lo+step, ...}
+// below hi, once each, in both modes.
+func TestQuickForCoversRange(t *testing.T) {
+	f := func(lo8, span, step8 uint8) bool {
+		lo := int(lo8)
+		hi := lo + int(span%64)
+		step := int(step8%5) + 1
+		want := map[int]int{}
+		for i := lo; i < hi; i += step {
+			want[i]++
+		}
+		for _, mode := range Modes {
+			var mu sync.Mutex
+			got := map[int]int{}
+			For(mode, lo, hi, step, func(i int) {
+				mu.Lock()
+				got[i]++
+				mu.Unlock()
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for k, v := range want {
+				if got[k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Concurrent.String() != "concurrent" || Sequential.String() != "sequential" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatalf("unknown mode = %q", Mode(9).String())
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	e := panicError{index: 2, value: "boom"}
+	if e.Error() != "sthreads: thread 2 panicked: boom" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}

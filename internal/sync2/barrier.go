@@ -1,0 +1,110 @@
+package sync2
+
+import "sync"
+
+// Barrier is an N-way cyclic barrier: each of n parties calls Pass, and no
+// call returns until all n have arrived. The barrier then resets for the
+// next cycle, so it can synchronize the iterations of a time-stepped loop
+// (the paper's ShortestPaths2 and the traditional stencil program).
+//
+// The implementation is the central condition-variable design with a
+// generation count: arrivals of one cycle cannot be confused with arrivals
+// of the next even if a fast thread laps a slow one.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for n parties. It panics if n < 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sync2: NewBarrier requires n >= 1")
+	}
+	b := &Barrier{n: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+// Pass blocks until all n parties have called Pass for the current cycle.
+// The returned value is the index of the caller's arrival in this cycle
+// (0-based); the last arriver gets n-1. The index is useful for electing a
+// per-cycle leader.
+func (b *Barrier) Pass() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	order := b.arrived
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return order
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return order
+}
+
+// N returns the party count the barrier was created with.
+func (b *Barrier) N() int { return b.n }
+
+// SenseBarrier is the classic sense-reversing barrier: a shared arrival
+// counter plus a flag whose polarity flips each cycle. Each party carries
+// its own local sense (returned by Register), so the hot path is one
+// atomic decrement and a spin-free wait on the condition variable. It is
+// behaviourally identical to Barrier and exists as the second traditional
+// implementation for the E4/E5 comparisons.
+type SenseBarrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	sense bool
+}
+
+// NewSenseBarrier returns a sense-reversing barrier for n parties.
+func NewSenseBarrier(n int) *SenseBarrier {
+	if n < 1 {
+		panic("sync2: NewSenseBarrier requires n >= 1")
+	}
+	b := &SenseBarrier{n: n, count: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+// Sense is one party's registration with a SenseBarrier.
+type Sense struct {
+	b     *SenseBarrier
+	local bool
+}
+
+// Register returns a per-party handle. Each party must use its own handle
+// for all its Pass calls.
+func (b *SenseBarrier) Register() *Sense {
+	return &Sense{b: b, local: true}
+}
+
+// Pass blocks until all n parties have called Pass in this cycle.
+func (s *Sense) Pass() {
+	b := s.b
+	local := s.local
+	s.local = !s.local
+	b.mu.Lock()
+	b.count--
+	if b.count == 0 {
+		b.count = b.n
+		b.sense = local
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.sense != local {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

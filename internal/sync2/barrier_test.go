@@ -1,0 +1,171 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// passer abstracts the two barrier designs so they share tests.
+type passer interface{ pass() }
+
+type centralPasser struct{ b *Barrier }
+
+func (p centralPasser) pass() { p.b.Pass() }
+
+type sensePasser struct{ s *Sense }
+
+func (p sensePasser) pass() { p.s.Pass() }
+
+// makeParties returns per-party passers for each design.
+func makeParties(design string, n int) []passer {
+	out := make([]passer, n)
+	switch design {
+	case "central":
+		b := NewBarrier(n)
+		for i := range out {
+			out[i] = centralPasser{b}
+		}
+	case "sense":
+		b := NewSenseBarrier(n)
+		for i := range out {
+			out[i] = sensePasser{b.Register()}
+		}
+	default:
+		panic("unknown design " + design)
+	}
+	return out
+}
+
+func forEachBarrier(t *testing.T, f func(t *testing.T, design string)) {
+	for _, design := range []string{"central", "sense"} {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			t.Parallel()
+			f(t, design)
+		})
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	forEachBarrier(t, func(t *testing.T, design string) {
+		parties := makeParties(design, 1)
+		done := make(chan struct{})
+		go func() {
+			for i := 0; i < 100; i++ {
+				parties[0].pass()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("single-party barrier blocked")
+		}
+	})
+}
+
+// TestBarrierLockstep: with n parties each incrementing a shared step
+// counter between passes, no party may ever observe another party more
+// than one step away.
+func TestBarrierLockstep(t *testing.T) {
+	forEachBarrier(t, func(t *testing.T, design string) {
+		const n = 8
+		const steps = 200
+		parties := makeParties(design, n)
+		var stepOf [n]atomic.Int64
+		var bad atomic.Bool
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for s := 1; s <= steps; s++ {
+					stepOf[p].Store(int64(s))
+					parties[p].pass()
+					// After the pass, every party must have reached
+					// step s (they may already be at s+1).
+					for q := 0; q < n; q++ {
+						v := stepOf[q].Load()
+						if v < int64(s) || v > int64(s+1) {
+							bad.Store(true)
+						}
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		if bad.Load() {
+			t.Fatal("barrier failed to keep parties in lockstep")
+		}
+	})
+}
+
+func TestBarrierManyCycles(t *testing.T) {
+	forEachBarrier(t, func(t *testing.T, design string) {
+		const n = 4
+		const cycles = 1000
+		parties := makeParties(design, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for c := 0; c < cycles; c++ {
+					parties[p].pass()
+				}
+			}(p)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("barrier deadlocked across cycles")
+		}
+	})
+}
+
+func TestBarrierArrivalIndex(t *testing.T) {
+	const n = 6
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	seen := make([]atomic.Bool, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := b.Pass()
+			if idx < 0 || idx >= n {
+				t.Errorf("arrival index %d out of range", idx)
+				return
+			}
+			if seen[idx].Swap(true) {
+				t.Errorf("duplicate arrival index %d", idx)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Errorf("arrival index %d never assigned", i)
+		}
+	}
+}
+
+func TestNewBarrierPanicsOnBadN(t *testing.T) {
+	for _, ctor := range []func(){
+		func() { NewBarrier(0) },
+		func() { NewSenseBarrier(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor with n=0 did not panic")
+				}
+			}()
+			ctor()
+		}()
+	}
+}

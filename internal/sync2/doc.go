@@ -1,0 +1,22 @@
+// Package sync2 implements the traditional synchronization mechanisms the
+// paper compares monotonic counters against, built from scratch on
+// sync.Mutex, sync.Cond, and atomics:
+//
+//   - Barrier: N-way cyclic barrier (the comparator in ShortestPaths2 and
+//     the traditional stencil program), in both a central condition-variable
+//     form and a sense-reversing form.
+//   - Event: a Win32-style manual-reset event with the Set/Check interface
+//     the paper's "Condition" objects use in ShortestPaths3 (section 4.4).
+//     Once set it stays set, releasing all present and future Checks.
+//   - Semaphore: a counting semaphore (Dijkstra's P/V), the classical
+//     solution to the bounded-buffer problem contrasted in section 5.3.
+//   - TicketLock: a FIFO mutual-exclusion lock, used to show that even a
+//     fair lock does not provide the *sequential ordering* counters give
+//     (section 5.2) — fairness orders by arrival, not by thread index.
+//   - SingleAssignment: a single-assignment (sync) variable in the CC++ /
+//     PCN tradition discussed in section 8.
+//
+// Each mechanism has exactly one thread-suspension queue (or, for the
+// barrier, one per generation), which is the structural property section 8
+// contrasts with the counter's dynamically varying number of queues.
+package sync2

@@ -1,0 +1,58 @@
+package sync2
+
+import "sync"
+
+// Event is a manual-reset event in the Win32 style: the "Condition"
+// objects of the paper's ShortestPaths3 program (section 4.4). An event is
+// initially unset. Set releases every goroutine suspended in Check and
+// makes all future Checks pass immediately; an event, once set, stays set.
+//
+// Unlike a monotonic counter, an event distinguishes only two states, so
+// synchronizing N phases takes an array of N events where a single counter
+// suffices — that is the storage cost section 4.5 eliminates.
+//
+// The zero value is a valid unset event.
+type Event struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	set  bool
+	init sync.Once
+}
+
+// NewEvent returns an unset event. Equivalent to new(Event).
+func NewEvent() *Event { return new(Event) }
+
+func (e *Event) lazyInit() {
+	e.init.Do(func() { e.cond.L = &e.mu })
+}
+
+// Set marks the event signaled, waking all current waiters. Setting an
+// already-set event is a no-op.
+func (e *Event) Set() {
+	e.lazyInit()
+	e.mu.Lock()
+	if !e.set {
+		e.set = true
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// Check suspends the caller until the event is set. If the event is
+// already set, Check returns immediately.
+func (e *Event) Check() {
+	e.lazyInit()
+	e.mu.Lock()
+	for !e.set {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// IsSet reports whether the event is set. For testing and tracing only —
+// the same instantaneous-value caveat as a counter's Value applies.
+func (e *Event) IsSet() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.set
+}

@@ -1,0 +1,224 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEventZeroValueUnset(t *testing.T) {
+	var e Event
+	if e.IsSet() {
+		t.Fatal("zero-value event is set")
+	}
+}
+
+func TestEventSetReleasesWaiters(t *testing.T) {
+	e := NewEvent()
+	const n = 16
+	var wg sync.WaitGroup
+	var passed atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Check()
+			passed.Add(1)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if passed.Load() != 0 {
+		t.Fatal("Check passed before Set")
+	}
+	e.Set()
+	wg.Wait()
+	if passed.Load() != n {
+		t.Fatalf("passed=%d, want %d", passed.Load(), n)
+	}
+}
+
+func TestEventStaysSet(t *testing.T) {
+	var e Event
+	e.Set()
+	e.Set() // idempotent
+	done := make(chan struct{})
+	go func() {
+		e.Check() // must pass immediately
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Check blocked on a set event")
+	}
+	if !e.IsSet() {
+		t.Fatal("event not set")
+	}
+}
+
+func TestSemaphorePermits(t *testing.T) {
+	s := NewSemaphore(2)
+	s.P()
+	s.P()
+	if s.TryP() {
+		t.Fatal("TryP succeeded with no permits")
+	}
+	s.V()
+	if !s.TryP() {
+		t.Fatal("TryP failed with a permit available")
+	}
+}
+
+func TestSemaphoreBlocksAtZero(t *testing.T) {
+	s := NewSemaphore(0)
+	acquired := make(chan struct{})
+	go func() {
+		s.P()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("P returned with zero permits")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.V()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("P never woke after V")
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	s := NewSemaphore(1)
+	var inside atomic.Int32
+	var maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s.P()
+				cur := inside.Add(1)
+				for {
+					m := maxInside.Load()
+					if cur <= m || maxInside.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				inside.Add(-1)
+				s.V()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside.Load())
+	}
+}
+
+func TestSemaphoreNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSemaphore(-1) did not panic")
+		}
+	}()
+	NewSemaphore(-1)
+}
+
+func TestTicketLockMutualExclusion(t *testing.T) {
+	var l TicketLock
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*500 {
+		t.Fatalf("counter=%d, want %d (lost updates => no mutual exclusion)", counter, 8*500)
+	}
+}
+
+func TestTicketLockFIFO(t *testing.T) {
+	var l TicketLock
+	l.Lock()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Lock()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Unlock()
+		}(i)
+		time.Sleep(20 * time.Millisecond) // serialize ticket acquisition
+	}
+	l.Unlock()
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestTicketLockUnlockUnlockedPanics(t *testing.T) {
+	var l TicketLock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked TicketLock did not panic")
+		}
+	}()
+	l.Unlock()
+}
+
+func TestSingleAssignment(t *testing.T) {
+	var v SingleAssignment[string]
+	if _, ok := v.TryRead(); ok {
+		t.Fatal("TryRead succeeded before Assign")
+	}
+	results := make(chan string, 3)
+	for i := 0; i < 3; i++ {
+		go func() { results <- v.Read() }()
+	}
+	time.Sleep(20 * time.Millisecond)
+	v.Assign("hello")
+	for i := 0; i < 3; i++ {
+		select {
+		case got := <-results:
+			if got != "hello" {
+				t.Fatalf("Read = %q, want hello", got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Read never returned after Assign")
+		}
+	}
+	if got, ok := v.TryRead(); !ok || got != "hello" {
+		t.Fatalf("TryRead = %q,%v", got, ok)
+	}
+}
+
+func TestSingleAssignmentDoubleAssignPanics(t *testing.T) {
+	var v SingleAssignment[int]
+	v.Assign(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Assign did not panic")
+		}
+	}()
+	v.Assign(2)
+}

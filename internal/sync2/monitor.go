@@ -1,0 +1,53 @@
+package sync2
+
+import "sync"
+
+// Monitor is a Mesa-style monitor (Hoare's structuring concept, with
+// signal-and-continue semantics as implemented by every modern system): a
+// mutual-exclusion region plus any number of named condition queues
+// declared up front. Section 8 of the paper contrasts monitors with
+// counters precisely here — a monitor has a *statically bounded* number
+// of suspension queues (one per declared condition), while a counter
+// grows and shrinks queues per waited-on level at run time.
+type Monitor struct {
+	mu sync.Mutex
+}
+
+// Enter acquires the monitor.
+func (m *Monitor) Enter() { m.mu.Lock() }
+
+// Leave releases the monitor.
+func (m *Monitor) Leave() { m.mu.Unlock() }
+
+// Do runs f inside the monitor.
+func (m *Monitor) Do(f func()) {
+	m.Enter()
+	defer m.Leave()
+	f()
+}
+
+// Condition is one of a monitor's suspension queues.
+type Condition struct {
+	m    *Monitor
+	cond sync.Cond
+}
+
+// NewCondition declares a condition queue of this monitor.
+func (m *Monitor) NewCondition() *Condition {
+	c := &Condition{m: m}
+	c.cond.L = &m.mu
+	return c
+}
+
+// Wait atomically releases the monitor and suspends until signalled;
+// the monitor is re-acquired before returning. As with all Mesa monitors
+// the guarded predicate must be re-checked in a loop by the caller.
+// Wait must be called with the monitor entered.
+func (c *Condition) Wait() { c.cond.Wait() }
+
+// Signal wakes one waiter, if any. Must be called with the monitor
+// entered.
+func (c *Condition) Signal() { c.cond.Signal() }
+
+// Broadcast wakes every waiter. Must be called with the monitor entered.
+func (c *Condition) Broadcast() { c.cond.Broadcast() }

@@ -1,0 +1,152 @@
+package sync2
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMonitorBoundedBuffer implements the textbook two-condition bounded
+// buffer on the monitor and checks FIFO delivery under concurrency.
+func TestMonitorBoundedBuffer(t *testing.T) {
+	const capacity = 4
+	const items = 200
+
+	var m Monitor
+	notFull := m.NewCondition()
+	notEmpty := m.NewCondition()
+	var buf []int
+
+	put := func(v int) {
+		m.Enter()
+		for len(buf) == capacity {
+			notFull.Wait()
+		}
+		buf = append(buf, v)
+		notEmpty.Signal()
+		m.Leave()
+	}
+	get := func() int {
+		m.Enter()
+		for len(buf) == 0 {
+			notEmpty.Wait()
+		}
+		v := buf[0]
+		buf = buf[1:]
+		notFull.Signal()
+		m.Leave()
+		return v
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := make([]int, 0, items)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			received = append(received, get())
+		}
+	}()
+	for i := 0; i < items; i++ {
+		put(i)
+	}
+	wg.Wait()
+	for i, v := range received {
+		if v != i {
+			t.Fatalf("received[%d] = %d; single-producer FIFO violated", i, v)
+		}
+	}
+}
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	var m Monitor
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Do(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*500 {
+		t.Fatalf("counter = %d, want %d", counter, 8*500)
+	}
+}
+
+func TestMonitorBroadcastWakesAll(t *testing.T) {
+	var m Monitor
+	ready := m.NewCondition()
+	go_ := false
+	var wg sync.WaitGroup
+	const n = 10
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			for !go_ {
+				ready.Wait()
+			}
+			m.Leave()
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.Enter()
+	go_ = true
+	ready.Broadcast()
+	m.Leave()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast did not wake all waiters")
+	}
+}
+
+func TestMonitorTwoConditionsIndependent(t *testing.T) {
+	var m Monitor
+	a := m.NewCondition()
+	b := m.NewCondition()
+	var aWoke, bWoke bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m.Enter()
+		for !aWoke {
+			a.Wait()
+		}
+		m.Leave()
+	}()
+	go func() {
+		defer wg.Done()
+		m.Enter()
+		for !bWoke {
+			b.Wait()
+		}
+		m.Leave()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Signalling a must not release the b-waiter.
+	m.Enter()
+	aWoke = true
+	a.Signal()
+	m.Leave()
+	time.Sleep(20 * time.Millisecond)
+	m.Enter()
+	bWoke = true
+	b.Signal()
+	m.Leave()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("condition waiters never released")
+	}
+}

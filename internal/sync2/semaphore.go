@@ -1,0 +1,55 @@
+package sync2
+
+import "sync"
+
+// Semaphore is a counting semaphore with Dijkstra's P (acquire) and V
+// (release) operations, built on a mutex and condition variable. It is the
+// classical mechanism for the multiple-writers multiple-readers bounded
+// buffer that section 5.3 contrasts with the counter's single-writer
+// multiple-reader broadcast: a semaphore transfers permits (each V wakes
+// one P), whereas a counter broadcasts a monotone level to everyone.
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	value int
+}
+
+// NewSemaphore returns a semaphore with the given initial permit count.
+// It panics if initial is negative.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic("sync2: NewSemaphore requires initial >= 0")
+	}
+	s := &Semaphore{value: initial}
+	s.cond.L = &s.mu
+	return s
+}
+
+// P acquires one permit, suspending until one is available.
+func (s *Semaphore) P() {
+	s.mu.Lock()
+	for s.value == 0 {
+		s.cond.Wait()
+	}
+	s.value--
+	s.mu.Unlock()
+}
+
+// V releases one permit, waking one suspended P if any.
+func (s *Semaphore) V() {
+	s.mu.Lock()
+	s.value++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// TryP acquires a permit without suspending, reporting success.
+func (s *Semaphore) TryP() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.value == 0 {
+		return false
+	}
+	s.value--
+	return true
+}

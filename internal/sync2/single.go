@@ -1,0 +1,57 @@
+package sync2
+
+import "sync"
+
+// SingleAssignment is a single-assignment ("sync") variable in the
+// CC++/PCN tradition discussed in section 8: it may be written exactly
+// once, and reads suspend until the write has happened. It couples
+// synchronization with data transfer — the coupling counters deliberately
+// separate (section 8, point (i)).
+type SingleAssignment[T any] struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	init  sync.Once
+	set   bool
+	value T
+}
+
+func (v *SingleAssignment[T]) lazyInit() {
+	v.init.Do(func() { v.cond.L = &v.mu })
+}
+
+// Assign writes the value. A second Assign panics: single-assignment
+// variables are written exactly once.
+func (v *SingleAssignment[T]) Assign(value T) {
+	v.lazyInit()
+	v.mu.Lock()
+	if v.set {
+		v.mu.Unlock()
+		panic("sync2: SingleAssignment assigned twice")
+	}
+	v.value = value
+	v.set = true
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+// Read suspends until the variable has been assigned, then returns its
+// value.
+func (v *SingleAssignment[T]) Read() T {
+	v.lazyInit()
+	v.mu.Lock()
+	for !v.set {
+		v.cond.Wait()
+	}
+	value := v.value
+	v.mu.Unlock()
+	return value
+}
+
+// TryRead returns the value and true if assigned, the zero value and
+// false otherwise, without suspending.
+func (v *SingleAssignment[T]) TryRead() (T, bool) {
+	v.lazyInit()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.value, v.set
+}

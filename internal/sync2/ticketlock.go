@@ -1,0 +1,50 @@
+package sync2
+
+import "sync"
+
+// TicketLock is a FIFO mutual-exclusion lock: acquirers take strictly
+// increasing tickets and are served in ticket order. It exists for the
+// section 5.2 comparison — even a perfectly fair lock orders critical
+// sections by *arrival time*, which varies run to run, whereas a pair of
+// counter operations orders them by *thread index*, which does not. The
+// dispenser/serving structure also shows how close a lock is to a counter:
+// serving is a monotonic counter whose levels are consumed one at a time.
+//
+// The zero value is a valid unlocked TicketLock.
+type TicketLock struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	init    sync.Once
+	next    uint64 // next ticket to hand out
+	serving uint64 // ticket currently allowed in
+}
+
+func (l *TicketLock) lazyInit() {
+	l.init.Do(func() { l.cond.L = &l.mu })
+}
+
+// Lock acquires the lock, suspending until the caller's ticket is served.
+func (l *TicketLock) Lock() {
+	l.lazyInit()
+	l.mu.Lock()
+	ticket := l.next
+	l.next++
+	for l.serving != ticket {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Unlock releases the lock, admitting the next ticket holder. It panics if
+// the lock is not held.
+func (l *TicketLock) Unlock() {
+	l.lazyInit()
+	l.mu.Lock()
+	if l.serving == l.next {
+		l.mu.Unlock()
+		panic("sync2: Unlock of unlocked TicketLock")
+	}
+	l.serving++
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

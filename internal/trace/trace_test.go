@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/internal/core"
+)
+
+func TestDelegation(t *testing.T) {
+	c := New(core.New())
+	c.Increment(5)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Check(3) // immediate
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset not delegated")
+	}
+	st := c.Stats()
+	if st.Increments != 1 || st.Checks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSuspensionMeasured(t *testing.T) {
+	c := New(core.New())
+	var wg sync.WaitGroup
+	const waiters = 3
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Check(1)
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	c.Increment(1)
+	wg.Wait()
+	st := c.Stats()
+	if st.Suspended != waiters {
+		t.Fatalf("Suspended = %d, want %d", st.Suspended, waiters)
+	}
+	if st.TotalWait < 3*20*time.Millisecond {
+		t.Fatalf("TotalWait = %v, want >= 60ms", st.TotalWait)
+	}
+	if st.MaxWait < 20*time.Millisecond {
+		t.Fatalf("MaxWait = %v", st.MaxWait)
+	}
+	if st.MaxConcurrent != waiters {
+		t.Fatalf("MaxConcurrent = %d, want %d", st.MaxConcurrent, waiters)
+	}
+	if st.MeanWait() < 20*time.Millisecond {
+		t.Fatalf("MeanWait = %v", st.MeanWait())
+	}
+}
+
+func TestImmediateChecksNotCountedAsSuspended(t *testing.T) {
+	c := New(core.New())
+	c.Increment(100)
+	for i := 0; i < 50; i++ {
+		c.Check(uint64(i))
+	}
+	if st := c.Stats(); st.Suspended != 0 {
+		t.Fatalf("Suspended = %d for immediate checks", st.Suspended)
+	}
+}
+
+func TestCheckContextTraced(t *testing.T) {
+	c := New(core.New())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := c.CheckContext(ctx, 10); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	st := c.Stats()
+	if st.Checks != 1 || st.Suspended != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMeanWaitEmpty(t *testing.T) {
+	if (Stats{}).MeanWait() != 0 {
+		t.Fatal("MeanWait on empty stats")
+	}
+}

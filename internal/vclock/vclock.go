@@ -1,0 +1,97 @@
+// Package vclock implements vector clocks, the happens-before substrate
+// for the determinacy checker of internal/detect (the paper's section 6
+// condition that every pair of conflicting shared-variable accesses be
+// separated by a transitive chain of counter operations).
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock: VC[t] is the number of events thread t has
+// performed that are known to the clock's owner. The zero value is a
+// usable all-zeros clock.
+type VC []uint64
+
+// New returns a clock for n threads, all components zero.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC { return append(VC(nil), v...) }
+
+// Tick advances thread t's own component.
+func (v VC) Tick(t int) { v[t]++ }
+
+// Get returns component t, treating missing components as zero.
+func (v VC) Get(t int) uint64 {
+	if t < len(v) {
+		return v[t]
+	}
+	return 0
+}
+
+// Join folds other into v: v = pointwise max(v, other). Clocks may have
+// different lengths; v grows as needed.
+func (v *VC) Join(other VC) {
+	for len(*v) < len(other) {
+		*v = append(*v, 0)
+	}
+	for i, x := range other {
+		if x > (*v)[i] {
+			(*v)[i] = x
+		}
+	}
+}
+
+// HappensBefore reports whether v <= other pointwise with v != other:
+// every event known to v is known to other, and other knows more. The
+// relation is a strict partial order.
+func (v VC) HappensBefore(other VC) bool {
+	le := true
+	lt := false
+	n := len(v)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		a, b := v.Get(i), other.Get(i)
+		if a > b {
+			le = false
+			break
+		}
+		if a < b {
+			lt = true
+		}
+	}
+	return le && lt
+}
+
+// Concurrent reports whether neither clock happens-before the other and
+// they are not equal — the two events race.
+func (v VC) Concurrent(other VC) bool {
+	return !v.HappensBefore(other) && !other.HappensBefore(v) && !v.Equal(other)
+}
+
+// Equal reports pointwise equality (missing components are zero).
+func (v VC) Equal(other VC) bool {
+	n := len(v)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) != other.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock as "<a,b,c>".
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}

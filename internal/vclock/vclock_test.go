@@ -1,0 +1,145 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickAndGet(t *testing.T) {
+	v := New(3)
+	v.Tick(1)
+	v.Tick(1)
+	v.Tick(2)
+	if v.Get(0) != 0 || v.Get(1) != 2 || v.Get(2) != 1 {
+		t.Fatalf("v = %v", v)
+	}
+	if v.Get(99) != 0 {
+		t.Fatal("out-of-range component not zero")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := VC{3, 0, 5}
+	b := VC{1, 4}
+	a.Join(b)
+	if !a.Equal(VC{3, 4, 5}) {
+		t.Fatalf("join = %v", a)
+	}
+	// Join growing the receiver.
+	c := VC{1}
+	c.Join(VC{0, 0, 7})
+	if !c.Equal(VC{1, 0, 7}) {
+		t.Fatalf("grown join = %v", c)
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{1, 3}
+	if !a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Fatal("ordering wrong for comparable clocks")
+	}
+	if a.HappensBefore(a) {
+		t.Fatal("HappensBefore must be irreflexive")
+	}
+	c := VC{2, 1}
+	if a.HappensBefore(c) || c.HappensBefore(a) {
+		t.Fatal("incomparable clocks reported ordered")
+	}
+	if !a.Concurrent(c) {
+		t.Fatal("incomparable clocks not concurrent")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("ordered clocks reported concurrent")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if !(VC{1, 0}).Equal(VC{1}) {
+		t.Fatal("trailing zeros must not affect equality")
+	}
+	if (VC{1, 2}).Equal(VC{1}) {
+		t.Fatal("distinct clocks equal")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := VC{1, 2}
+	b := a.Clone()
+	b.Tick(0)
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 2}).String(); got != "<1,0,2>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestQuickPartialOrder: HappensBefore is transitive and antisymmetric,
+// and exactly one of {a<b, b<a, a=b, concurrent} holds.
+func TestQuickPartialOrder(t *testing.T) {
+	mk := func(x, y, z uint8) VC { return VC{uint64(x % 4), uint64(y % 4), uint64(z % 4)} }
+	f := func(a1, a2, a3, b1, b2, b3, c1, c2, c3 uint8) bool {
+		a, b, c := mk(a1, a2, a3), mk(b1, b2, b3), mk(c1, c2, c3)
+		// Antisymmetry.
+		if a.HappensBefore(b) && b.HappensBefore(a) {
+			return false
+		}
+		// Transitivity.
+		if a.HappensBefore(b) && b.HappensBefore(c) && !a.HappensBefore(c) {
+			return false
+		}
+		// Trichotomy-with-concurrency.
+		states := 0
+		if a.HappensBefore(b) {
+			states++
+		}
+		if b.HappensBefore(a) {
+			states++
+		}
+		if a.Equal(b) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJoinIsLUB: the join is an upper bound of both operands and is
+// monotone.
+func TestQuickJoinIsLUB(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		a := VC{uint64(a1 % 8), uint64(a2 % 8)}
+		b := VC{uint64(b1 % 8), uint64(b2 % 8)}
+		j := a.Clone()
+		j.Join(b)
+		// Upper bound: a <= j and b <= j (as "not strictly after").
+		for i := 0; i < 2; i++ {
+			if a.Get(i) > j.Get(i) || b.Get(i) > j.Get(i) {
+				return false
+			}
+		}
+		// Least: each component is exactly the max.
+		for i := 0; i < 2; i++ {
+			max := a.Get(i)
+			if b.Get(i) > max {
+				max = b.Get(i)
+			}
+			if j.Get(i) != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package workload provides deterministic workload generation for the
+// experiments: a seedable PRNG (splitmix64), per-thread load-skew profiles
+// that model the processor load imbalance the paper's ragged barriers
+// exploit, and small synthetic compute kernels with tunable cost.
+package workload
+
+import (
+	"math"
+	"runtime"
+)
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and fully
+// deterministic from its seed, so every experiment is reproducible without
+// depending on math/rand's global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next value in the splitmix64 sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n), Fisher-Yates shuffled.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Skew describes per-thread load imbalance: thread t's work units cost
+// Factor(t) times the baseline. The paper's argument for ragged barriers
+// (sections 4 and 5.1) is that under skew, barrier programs serialize on
+// the slowest thread each step while counter programs let fast threads run
+// ahead.
+type Skew interface {
+	// Factor returns the cost multiplier for thread t of n.
+	Factor(t, n int) float64
+	// Name identifies the profile in experiment tables.
+	Name() string
+}
+
+// Uniform is no skew: every thread costs the same.
+type Uniform struct{}
+
+// Factor implements Skew.
+func (Uniform) Factor(t, n int) float64 { return 1 }
+
+// Name implements Skew.
+func (Uniform) Name() string { return "uniform" }
+
+// Linear skews linearly: thread 0 costs 1x, thread n-1 costs Max x.
+type Linear struct{ Max float64 }
+
+// Factor implements Skew.
+func (s Linear) Factor(t, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + (s.Max-1)*float64(t)/float64(n-1)
+}
+
+// Name implements Skew.
+func (s Linear) Name() string { return "linear" }
+
+// OneSlow makes a single thread cost Max x and all others 1x — the
+// straggler pattern where ragged barriers help most.
+type OneSlow struct{ Max float64 }
+
+// Factor implements Skew.
+func (s OneSlow) Factor(t, n int) float64 {
+	if t == n-1 {
+		return s.Max
+	}
+	return 1
+}
+
+// Name implements Skew.
+func (s OneSlow) Name() string { return "one-slow" }
+
+// Alternating skews even threads 1x and odd threads Max x.
+type Alternating struct{ Max float64 }
+
+// Factor implements Skew.
+func (s Alternating) Factor(t, n int) float64 {
+	if t%2 == 1 {
+		return s.Max
+	}
+	return 1
+}
+
+// Name implements Skew.
+func (s Alternating) Name() string { return "alternating" }
+
+// Yield cedes the processor n times. On a single-P runtime (GOMAXPROCS=1)
+// pure spinning never deschedules a goroutine, so experiments that need
+// arrival-order variation must yield explicitly; Yield(rng.Intn(k)) gives
+// each thread a random number of scheduling points.
+func Yield(n int) {
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Spin burns roughly `units` abstract units of CPU on arithmetic the
+// compiler cannot elide, and returns a checksum (so callers can consume
+// the result). One unit is a handful of floating-point operations.
+func Spin(units int) float64 {
+	x := 1.000001
+	for i := 0; i < units; i++ {
+		x = x*1.0000001 + 0.0000001
+		if x > 2 {
+			x = math.Sqrt(x)
+		}
+	}
+	return x
+}
+
+// SpinSkewed burns baseUnits scaled by the skew factor for thread t of n.
+func SpinSkewed(s Skew, t, n, baseUnits int) float64 {
+	return Spin(int(float64(baseUnits) * s.Factor(t, n)))
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewProfiles(t *testing.T) {
+	const n = 8
+	cases := []struct {
+		s    Skew
+		t0   float64 // factor for thread 0
+		tEnd float64 // factor for thread n-1
+	}{
+		{Uniform{}, 1, 1},
+		{Linear{Max: 4}, 1, 4},
+		{OneSlow{Max: 10}, 1, 10},
+		{Alternating{Max: 3}, 1, 3},
+	}
+	for _, c := range cases {
+		if got := c.s.Factor(0, n); got != c.t0 {
+			t.Errorf("%s.Factor(0,%d) = %v, want %v", c.s.Name(), n, got, c.t0)
+		}
+		if got := c.s.Factor(n-1, n); got != c.tEnd {
+			t.Errorf("%s.Factor(%d,%d) = %v, want %v", c.s.Name(), n-1, n, got, c.tEnd)
+		}
+		for i := 0; i < n; i++ {
+			if c.s.Factor(i, n) < 1 {
+				t.Errorf("%s.Factor(%d,%d) < 1", c.s.Name(), i, n)
+			}
+		}
+	}
+}
+
+func TestLinearSingleThread(t *testing.T) {
+	if got := (Linear{Max: 5}).Factor(0, 1); got != 1 {
+		t.Fatalf("Linear.Factor(0,1) = %v, want 1", got)
+	}
+}
+
+func TestSpinConsumesWork(t *testing.T) {
+	if Spin(0) != Spin(0) {
+		t.Fatal("Spin not deterministic")
+	}
+	if Spin(1000) == 0 {
+		t.Fatal("Spin returned zero checksum")
+	}
+	// SpinSkewed must scale with the factor without crashing at edges.
+	_ = SpinSkewed(OneSlow{Max: 3}, 7, 8, 100)
+	_ = SpinSkewed(Uniform{}, 0, 1, 0)
+}
+
+func TestSkewNames(t *testing.T) {
+	names := map[string]Skew{
+		"uniform":     Uniform{},
+		"linear":      Linear{Max: 2},
+		"one-slow":    OneSlow{Max: 2},
+		"alternating": Alternating{Max: 2},
+	}
+	for want, s := range names {
+		if got := s.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestYieldRuns(t *testing.T) {
+	Yield(0)
+	Yield(3) // must simply not hang or panic
+}
