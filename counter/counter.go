@@ -35,6 +35,24 @@
 // value: a decision based on a momentary value would reintroduce the
 // timing races counters exist to eliminate.
 //
+// # Cancellation semantics
+//
+// CheckContext and WaitTimeout extend the paper with a way to stop
+// waiting. Three rules make them safe to use anywhere a Check is:
+//
+//   - A satisfied level beats a cancelled context. If the value already
+//     satisfies level, CheckContext returns nil even when ctx expired
+//     long ago (and WaitTimeout(level, 0) reports true). Monotonicity is
+//     preserved: once Check(level) would pass, it passes forever.
+//   - Cancellation never perturbs the counter. A cancelled waiter
+//     deregisters completely — the value is untouched, other waiters are
+//     undisturbed, and the last cancelled waiter on a level reclaims the
+//     level's bookkeeping, so abandoned levels cost nothing.
+//   - No goroutine is spawned per call. Waiters suspend by selecting on
+//     a per-level channel that Increment closes, so a blocked
+//     CheckContext costs one parked goroutine — the caller's — and a
+//     cancelled one leaves nothing behind.
+//
 // # Memory model
 //
 // In the terminology of the Go memory model, the n-th call to Increment
@@ -79,14 +97,19 @@ func (c *Counter) Increment(amount uint64) { c.c.Increment(amount) }
 func (c *Counter) Check(level uint64) { c.c.Check(level) }
 
 // CheckContext is Check with cancellation: it returns nil once the value
-// reaches level, or ctx.Err() if the context is cancelled first. This is
-// an extension beyond the paper; cancellation does not perturb the counter.
+// reaches level, or ctx.Err() if the context is cancelled first. An
+// already-satisfied level wins over an already-cancelled context, and
+// cancellation does not perturb the counter or spawn any goroutine; see
+// the package documentation's cancellation semantics. This is an
+// extension beyond the paper.
 func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
 	return c.c.CheckContext(ctx, level)
 }
 
 // WaitTimeout is Check bounded by a timeout, reporting whether the level
-// was reached. An extension beyond the paper.
+// was reached. A satisfied level beats an expired deadline: even with a
+// zero or negative timeout, WaitTimeout reports true when the value
+// already satisfies level. An extension beyond the paper.
 func (c *Counter) WaitTimeout(level uint64, d time.Duration) bool {
 	return core.WaitTimeout(&c.c, level, d)
 }

@@ -56,6 +56,28 @@ func TestWaitTimeout(t *testing.T) {
 	}
 }
 
+// TestSatisfiedBeatsCancelled pins the documented cancellation rule at
+// the public surface: an already-satisfied level wins over an
+// already-expired context or a zero timeout.
+func TestSatisfiedBeatsCancelled(t *testing.T) {
+	var c counter.Counter
+	c.Increment(4)
+	if !c.WaitTimeout(4, 0) {
+		t.Fatal("WaitTimeout(4, 0) = false with value 4")
+	}
+	if c.WaitTimeout(5, 0) {
+		t.Fatal("WaitTimeout(5, 0) = true with value 4")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.CheckContext(ctx, 4); err != nil {
+		t.Fatalf("CheckContext(cancelled, satisfied) = %v, want nil", err)
+	}
+	if err := c.CheckContext(ctx, 5); err != context.Canceled {
+		t.Fatalf("CheckContext(cancelled, unsatisfied) = %v, want Canceled", err)
+	}
+}
+
 func TestReset(t *testing.T) {
 	var c counter.Counter
 	c.Increment(10)

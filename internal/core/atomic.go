@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 )
 
@@ -15,13 +14,15 @@ import (
 // suspending. This is the ablation quantifying how much of counter overhead
 // is the mutex on the already-satisfied path (experiment E11).
 //
+// The slow path is the shared waitlist engine over the plain sorted-list
+// index — the reference design minus the instrumentation.
+//
 // The zero value is a valid counter with value zero.
 type AtomicCounter struct {
 	value atomic.Uint64 // published after the list update; monotonic
 
-	mu      sync.Mutex
-	head    *node
-	waiters int
+	wl   waitlist
+	list listIndex
 }
 
 // NewAtomic returns an AtomicCounter with value zero.
@@ -29,18 +30,15 @@ func NewAtomic() *AtomicCounter { return new(AtomicCounter) }
 
 // Increment implements Interface.
 func (c *AtomicCounter) Increment(amount uint64) {
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	v := checkedAdd(c.value.Load(), amount)
 	// Publish before broadcasting so a fast-path reader that raced past
 	// the mutex observes the new value no later than woken waiters do.
 	c.value.Store(v)
-	for n := c.head; n != nil && n.level <= v; n = n.next {
-		if !n.set {
-			n.set = true
-			n.cond.Broadcast()
-		}
+	for n := c.list.head; n != nil && n.level <= v; n = n.next {
+		c.wl.satisfy(n)
 	}
-	c.mu.Unlock()
+	c.wl.mu.Unlock()
 }
 
 // Check implements Interface.
@@ -48,24 +46,22 @@ func (c *AtomicCounter) Check(level uint64) {
 	if level <= c.value.Load() {
 		return // fast path: already satisfied, no lock
 	}
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	if level <= c.value.Load() {
-		c.mu.Unlock()
+		c.wl.mu.Unlock()
 		return
 	}
-	n := c.join(level)
-	for !n.set {
-		n.cond.Wait()
-	}
-	c.leave(n)
-	c.mu.Unlock()
+	n := c.wl.join(&c.list, level)
+	c.wl.wait(n)
+	c.wl.leave(&c.list, n)
+	c.wl.mu.Unlock()
 }
 
-// CheckContext implements Interface.
+// CheckContext implements Interface. The satisfied fast path is checked
+// before the context so that an already-satisfied level wins over an
+// already-cancelled context; the blocking path selects on the node's
+// ready channel, spawning no goroutine.
 func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	if level <= c.value.Load() {
 		return nil
 	}
@@ -74,73 +70,27 @@ func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 		c.Check(level)
 		return nil
 	}
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	if level <= c.value.Load() {
-		c.mu.Unlock()
+		c.wl.mu.Unlock()
 		return nil
 	}
-	n := c.join(level)
-	stop := make(chan struct{})
-	go func() {
-		select {
-		case <-done:
-			c.mu.Lock()
-			n.cond.Broadcast()
-			c.mu.Unlock()
-		case <-stop:
-		}
-	}()
-	for !n.set && ctx.Err() == nil {
-		n.cond.Wait()
+	if err := ctx.Err(); err != nil {
+		c.wl.mu.Unlock()
+		return err
 	}
-	close(stop)
-	var err error
-	if !n.set {
-		err = ctx.Err()
-	}
-	c.leave(n)
-	c.mu.Unlock()
+	n := c.wl.join(&c.list, level)
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.leave(&c.list, n)
+	c.wl.mu.Unlock()
 	return err
-}
-
-// join and leave mirror Counter's list bookkeeping. Called with c.mu held.
-func (c *AtomicCounter) join(level uint64) *node {
-	p := &c.head
-	for *p != nil && (*p).level < level {
-		p = &(*p).next
-	}
-	var n *node
-	if *p != nil && (*p).level == level && !(*p).set {
-		n = *p
-	} else {
-		n = &node{level: level, next: *p}
-		n.cond.L = &c.mu
-		*p = n
-	}
-	n.count++
-	c.waiters++
-	return n
-}
-
-func (c *AtomicCounter) leave(n *node) {
-	n.count--
-	c.waiters--
-	if n.count == 0 {
-		for p := &c.head; *p != nil; p = &(*p).next {
-			if *p == n {
-				*p = n.next
-				n.next = nil
-				break
-			}
-		}
-	}
 }
 
 // Reset implements Interface.
 func (c *AtomicCounter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.waiters != 0 || c.head != nil {
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	if c.wl.waiters != 0 || c.list.head != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value.Store(0)

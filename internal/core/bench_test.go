@@ -27,14 +27,14 @@ func BenchmarkSimInsert(b *testing.B) {
 				// on a private throwaway level far above the rest.
 				lv := uint64(levels + 1)
 				s.Check(lv)
-				n := s.c.head
+				n := s.c.list.head
 				for n != nil && n.level != lv {
 					n = n.next
 				}
 				if n != nil {
-					s.c.mu.Lock()
+					s.c.wl.mu.Lock()
 					s.c.leave(n) // unregister without satisfying
-					s.c.mu.Unlock()
+					s.c.wl.mu.Unlock()
 				}
 			}
 		})

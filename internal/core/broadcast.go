@@ -2,101 +2,105 @@ package core
 
 import (
 	"context"
-	"sync"
 )
 
 // BroadcastCounter is the naive baseline the paper's cost analysis argues
-// against: one condition variable for the whole counter, a full broadcast
-// on every increment, and every waiter re-checking its own level after
-// every wake. Wake cost is proportional to the total number of waiting
-// goroutines (the thundering herd), not to the number of satisfied levels.
-// It exists as the comparison point for the E10/E11 cost experiments.
+// against: every increment wakes every waiter, and every waiter re-checks
+// its own level after every wake. Wake cost is proportional to the total
+// number of waiting goroutines (the thundering herd), not to the number of
+// satisfied levels. It exists as the comparison point for the E10/E11 cost
+// experiments.
+//
+// On the shared waitlist engine the herd is expressed as a degenerate
+// index: a single "round" node that every waiter joins regardless of
+// level, satisfied by every increment. A waiter whose level is still
+// unsatisfied after a wake joins the next round node and sleeps again.
 //
 // The zero value is a valid counter with value zero.
 type BroadcastCounter struct {
-	mu      sync.Mutex
-	cond    sync.Cond
-	once    sync.Once
-	value   uint64
-	waiters int
-	wakes   uint64 // cumulative waiter wake-ups (each re-check after a broadcast)
+	wl    waitlist
+	value uint64
+	round *waitNode // node all current waiters sleep on; nil when none joined since the last increment
+	wakes uint64    // cumulative waiter wake-ups (each re-check after a broadcast)
 }
 
 // NewBroadcast returns a BroadcastCounter with value zero.
 func NewBroadcast() *BroadcastCounter { return new(BroadcastCounter) }
 
-func (c *BroadcastCounter) init() {
-	c.once.Do(func() { c.cond.L = &c.mu })
+// BroadcastCounter's levelIndex ignores the level entirely: every
+// acquire lands on the shared round node — that is the ablation.
+
+func (c *BroadcastCounter) acquire(w *waitlist, level uint64) *waitNode {
+	if c.round == nil {
+		c.round = newWaitNode(w, level)
+	}
+	return c.round
 }
 
-// Increment implements Interface.
+func (c *BroadcastCounter) drop(n *waitNode) {
+	if c.round == n {
+		c.round = nil
+	}
+}
+
+// Increment implements Interface. Every increment broadcasts to every
+// waiter, satisfied level or not.
 func (c *BroadcastCounter) Increment(amount uint64) {
-	c.init()
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
-	c.cond.Broadcast()
-	c.mu.Unlock()
+	if n := c.round; n != nil {
+		c.round = nil
+		c.wl.satisfy(n)
+	}
+	c.wl.mu.Unlock()
 }
 
 // Check implements Interface.
 func (c *BroadcastCounter) Check(level uint64) {
-	c.init()
-	c.mu.Lock()
-	if level > c.value {
-		c.waiters++
-		for level > c.value {
-			c.cond.Wait()
-			c.wakes++
-		}
-		c.waiters--
+	c.wl.mu.Lock()
+	for level > c.value {
+		n := c.wl.join(c, level)
+		c.wl.wait(n)
+		c.wl.leave(c, n)
+		c.wakes++
 	}
-	c.mu.Unlock()
+	c.wl.mu.Unlock()
 }
 
-// CheckContext implements Interface.
+// CheckContext implements Interface. The value is consulted before the
+// context, so an already-satisfied level wins over an already-cancelled
+// context; cancellation is observed by selecting on the round node's
+// ready channel — no watcher goroutine.
 func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	done := ctx.Done()
 	if done == nil {
 		c.Check(level)
 		return nil
 	}
-	c.init()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if level <= c.value {
-		return nil
-	}
-	stop := make(chan struct{})
-	go func() {
-		select {
-		case <-done:
-			c.mu.Lock()
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		case <-stop:
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	for level > c.value {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-	}()
-	c.waiters++
-	for level > c.value && ctx.Err() == nil {
-		c.cond.Wait()
-		c.wakes++
-	}
-	c.waiters--
-	close(stop)
-	if level > c.value {
-		return ctx.Err()
+		n := c.wl.join(c, level)
+		err := c.wl.waitCtx(ctx, n)
+		c.wl.leave(c, n)
+		if n.set {
+			c.wakes++
+		}
+		if err != nil && level > c.value {
+			return err
+		}
 	}
 	return nil
 }
 
 // Reset implements Interface.
 func (c *BroadcastCounter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.waiters != 0 {
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	if c.wl.waiters != 0 {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value = 0
@@ -104,8 +108,8 @@ func (c *BroadcastCounter) Reset() {
 
 // Value implements Interface. For inspection and testing only.
 func (c *BroadcastCounter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	return c.value
 }
 
@@ -113,9 +117,10 @@ func (c *BroadcastCounter) Value() uint64 {
 // and I increments this grows as O(W*I), the cost the per-level designs
 // avoid.
 func (c *BroadcastCounter) Wakes() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	return c.wakes
 }
 
 var _ Interface = (*BroadcastCounter)(nil)
+var _ levelIndex = (*BroadcastCounter)(nil)

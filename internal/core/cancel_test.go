@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression tests for the cancellation path: the satisfied-beats-
+// cancelled ordering, reclamation of abandoned levels, and the
+// no-goroutine-per-call guarantee of the shared waitlist engine.
+
+// TestSatisfiedBeatsExpiredTimeout pins the ordering rule at the
+// WaitTimeout surface: a zero timeout hands CheckContext an already-
+// expired context, and the already-satisfied level must still win.
+func TestSatisfiedBeatsExpiredTimeout(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		c.Increment(7)
+		for _, level := range []uint64{0, 1, 7} {
+			if !WaitTimeout(c, level, 0) {
+				t.Errorf("WaitTimeout(level=%d, 0) = false with value 7", level)
+			}
+		}
+		if WaitTimeout(c, 8, 0) {
+			t.Error("WaitTimeout(level=8, 0) = true with value 7")
+		}
+	})
+}
+
+// TestSatisfiedBeatsExpiredDeadline exercises the same rule through a
+// deadline context that expired long ago.
+func TestSatisfiedBeatsExpiredDeadline(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+		defer cancel()
+		c.Increment(3)
+		if err := c.CheckContext(ctx, 3); err != nil {
+			t.Errorf("CheckContext(expired, satisfied) = %v, want nil", err)
+		}
+		if err := c.CheckContext(ctx, 4); err != context.DeadlineExceeded {
+			t.Errorf("CheckContext(expired, unsatisfied) = %v, want DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestChanAbandonedLevelsReclaimed cancels N waiters spread across K
+// never-satisfied levels and asserts no residual map entries: the last
+// cancelled waiter on each level must reclaim its gate.
+func TestChanAbandonedLevelsReclaimed(t *testing.T) {
+	const (
+		levels          = 8
+		waitersPerLevel = 4
+	)
+	c := NewChan()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	started := make(chan struct{}, levels*waitersPerLevel)
+	for l := 0; l < levels; l++ {
+		for w := 0; w < waitersPerLevel; w++ {
+			wg.Add(1)
+			go func(lv uint64) {
+				defer wg.Done()
+				started <- struct{}{}
+				if err := c.CheckContext(ctx, lv); err != context.Canceled {
+					t.Errorf("CheckContext(level=%d) = %v, want Canceled", lv, err)
+				}
+			}(uint64(1000 + l))
+		}
+	}
+	for i := 0; i < levels*waitersPerLevel; i++ {
+		<-started
+	}
+	// Wait for every waiter to be parked on its gate before cancelling.
+	deadline := time.After(5 * time.Second)
+	for c.LiveLevels() != levels {
+		select {
+		case <-deadline:
+			t.Fatalf("LiveLevels = %d before cancel, want %d", c.LiveLevels(), levels)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	wg.Wait()
+	if got := c.LiveLevels(); got != 0 {
+		t.Fatalf("LiveLevels after all waiters cancelled = %d, want 0 (abandoned levels leaked)", got)
+	}
+	// The counter must be fully reusable: Reset must not see ghosts and a
+	// later increment must satisfy fresh checks.
+	c.Reset()
+	c.Increment(2000)
+	c.Check(1500)
+}
+
+// TestCancelledWaitersLeaveNoTrace cancels the sole waiter on a level in
+// every implementation and asserts the counter is structurally clean:
+// Reset (which panics on any residual registration) must succeed.
+func TestCancelledWaitersLeaveNoTrace(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() { errc <- c.CheckContext(ctx, 42) }()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		if err := <-errc; err != context.Canceled {
+			t.Fatalf("CheckContext = %v, want Canceled", err)
+		}
+		// Give the cancelled waiter's deregistration a moment to finish
+		// (the error is delivered before the final bookkeeping only in
+		// implementations that report from inside the lock, so poll).
+		deadline := time.After(5 * time.Second)
+		for {
+			if ok := func() (ok bool) {
+				defer func() { ok = recover() == nil }()
+				c.Reset()
+				return
+			}(); ok {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatal("Reset still panics after the only waiter cancelled: abandoned registration leaked")
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	})
+}
+
+// TestReferenceCancelUnlinksNode looks inside the reference list: a
+// cancelled sole waiter must unlink its node, leaving the Figure 2
+// structure empty.
+func TestReferenceCancelUnlinksNode(t *testing.T) {
+	c := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(ctx, 9) }()
+	deadline := time.After(5 * time.Second)
+	for len(c.Inspect().Nodes) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never registered")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("CheckContext = %v", err)
+	}
+	if snap := c.Inspect(); len(snap.Nodes) != 0 {
+		t.Fatalf("node leaked after cancellation: %v", snap)
+	}
+}
+
+// TestPeakLevelsIgnoresDrainingPrefix pins the Stats.PeakLevels fix: a
+// satisfied node still draining its waiters is not a waited-on level, so
+// inserting a new level while the prefix drains must not inflate the
+// peak. (Experiment E10's cost model counts distinct *waited-on* levels.)
+func TestPeakLevelsIgnoresDrainingPrefix(t *testing.T) {
+	s := NewSim()
+	s.Check(5)
+	s.Check(5)
+	s.Check(9) // two live levels; peak = 2
+	s.Increment(7)
+	// Level 5 is satisfied but both its waiters still drain; the list
+	// holds {5 set, 9 not-set}. A new level arrives mid-drain:
+	s.Check(12)
+	if st := s.c.Stats(); st.PeakLevels != 2 {
+		t.Fatalf("PeakLevels = %d, want 2 (draining satisfied prefix must not count)", st.PeakLevels)
+	}
+	s.Resume(5)
+	s.Resume(5)
+	s.Check(15) // three live levels now: 9, 12, 15
+	if st := s.c.Stats(); st.PeakLevels != 3 {
+		t.Fatalf("PeakLevels = %d, want 3", st.PeakLevels)
+	}
+}
+
+// TestNoGoroutinePerCheckContext is the tentpole's regression guard: a
+// storm of cancelled and timed-out CheckContext/WaitTimeout calls against
+// every implementation must leave the goroutine count at its baseline —
+// the engine never spawns a watcher goroutine per call.
+func TestNoGoroutinePerCheckContext(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, impl := range Impls {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			const waiters = 64
+			var wg sync.WaitGroup
+			ctx, cancel := context.WithCancel(context.Background())
+			for i := 0; i < waiters; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Mix of cancellation shapes: explicit cancel,
+					// instant timeout, satisfied-under-expiry.
+					switch i % 3 {
+					case 0:
+						_ = c.CheckContext(ctx, uint64(1_000_000+i))
+					case 1:
+						WaitTimeout(c, uint64(1_000_000+i), 0)
+					default:
+						WaitTimeout(c, uint64(1_000_000+i), time.Microsecond)
+					}
+				}(i)
+			}
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			wg.Wait()
+			c.Increment(1) // prove the counter still works after the storm
+			c.Check(1)
+		})
+	}
+	// All implementation storms done; the process must settle back to the
+	// pre-storm goroutine count (small slack for runtime helpers).
+	deadline := time.After(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestCancelStormKeepsCounterCorrect interleaves a cancellation storm
+// with real increments and asserts no waiter entitled to pass is lost
+// and the structure stays clean, for every implementation.
+func TestCancelStormKeepsCounterCorrect(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		const (
+			increments = 200
+			cancellers = 8
+		)
+		var wg sync.WaitGroup
+		for i := 0; i < cancellers; i++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					lv := uint64((seed*53+j*17)%(2*increments)) + 1
+					WaitTimeout(c, lv, time.Duration(j%5)*100*time.Microsecond)
+				}
+			}(i)
+		}
+		survivor := make(chan error, 1)
+		go func() { survivor <- c.CheckContext(context.Background(), increments) }()
+		for i := 0; i < increments; i++ {
+			c.Increment(1)
+		}
+		select {
+		case err := <-survivor:
+			if err != nil {
+				t.Fatalf("surviving waiter got %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("surviving waiter lost its wakeup during the cancel storm")
+		}
+		wg.Wait()
+		if got := c.Value(); got != increments {
+			t.Fatalf("value = %d, want %d", got, increments)
+		}
+	})
+}
+
+// BenchmarkCheckContext measures the two no-block shapes of the
+// cancellation path across implementations: a satisfied level under a
+// live context, and an unsatisfied level under an expired context.
+// ReportAllocs pins the no-goroutine, near-zero-allocation property.
+func BenchmarkCheckContext(b *testing.B) {
+	for _, impl := range Impls {
+		c := NewImpl(impl)
+		c.Increment(1)
+		live, cancelLive := context.WithCancel(context.Background())
+		expired, cancelExpired := context.WithCancel(context.Background())
+		cancelExpired()
+		b.Run(fmt.Sprintf("%s/satisfied", impl), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.CheckContext(live, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/expired", impl), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.CheckContext(expired, 1<<40); err == nil {
+					b.Fatal("expired context passed an unsatisfied level")
+				}
+			}
+		})
+		cancelLive()
+	}
+}
+
+// BenchmarkCheckContextParkCancel measures the full park-then-cancel
+// round trip: the waiter suspends on an unreachable level and a
+// cancellation releases it. The interesting number is allocations —
+// the engine parks with a channel select, not a watcher goroutine.
+func BenchmarkCheckContextParkCancel(b *testing.B) {
+	for _, impl := range Impls {
+		b.Run(string(impl), func(b *testing.B) {
+			c := NewImpl(impl)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan struct{})
+				go func() {
+					c.CheckContext(ctx, 1<<40)
+					close(done)
+				}()
+				cancel()
+				<-done
+			}
+		})
+	}
+}

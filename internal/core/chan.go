@@ -14,11 +14,22 @@ import (
 // Context cancellation falls out naturally from select, with no watcher
 // goroutine.
 //
+// Each gate carries a waiter refcount so the last cancelled waiter on a
+// never-satisfied level reclaims the level's map entry: abandoned levels
+// do not leak.
+//
 // The zero value is a valid counter with value zero.
 type ChanCounter struct {
 	mu     sync.Mutex
 	value  uint64
-	levels map[uint64]chan struct{} // level -> close-on-satisfy channel
+	levels map[uint64]*gate // level -> close-on-satisfy gate
+}
+
+// gate is one level's close-on-satisfy channel plus the number of
+// goroutines currently parked on it.
+type gate struct {
+	ch   chan struct{}
+	refs int
 }
 
 // NewChan returns a ChanCounter with value zero.
@@ -30,9 +41,9 @@ func (c *ChanCounter) Increment(amount uint64) {
 	old := c.value
 	c.value = checkedAdd(c.value, amount)
 	if c.levels != nil {
-		for level, ch := range c.levels {
+		for level, g := range c.levels {
 			if level > old && level <= c.value {
-				close(ch)
+				close(g.ch)
 				delete(c.levels, level)
 			}
 		}
@@ -42,52 +53,87 @@ func (c *ChanCounter) Increment(amount uint64) {
 
 // Check implements Interface.
 func (c *ChanCounter) Check(level uint64) {
-	if ch := c.gate(level); ch != nil {
-		<-ch
+	g := c.acquire(level)
+	if g == nil {
+		return
 	}
+	<-g.ch
+	c.release(level, g)
 }
 
-// CheckContext implements Interface.
+// CheckContext implements Interface. The gate is consulted before the
+// context, so an already-satisfied level wins over an already-cancelled
+// context — including the race where satisfaction and cancellation
+// arrive together.
 func (c *ChanCounter) CheckContext(ctx context.Context, level uint64) error {
 	if err := ctx.Err(); err != nil {
+		// No waiter will park, so don't build a gate; the value is
+		// still consulted first — satisfied beats cancelled.
+		if c.satisfied(level) {
+			return nil
+		}
 		return err
 	}
-	ch := c.gate(level)
-	if ch == nil {
+	g := c.acquire(level)
+	if g == nil {
 		return nil
 	}
+	defer c.release(level, g)
 	select {
-	case <-ch:
+	case <-g.ch:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		select {
+		case <-g.ch:
+			return nil // satisfied concurrently with cancellation: satisfied wins
+		default:
+			return ctx.Err()
+		}
 	}
 }
 
-// gate returns the channel to wait on for level, or nil if the level is
-// already satisfied. Note that abandoned levels (all waiters cancelled)
-// keep their map entry until satisfied; entries are O(distinct levels) and
-// are reclaimed by the increment that passes them, which keeps gate
-// allocation-free on the satisfied path.
-func (c *ChanCounter) gate(level uint64) chan struct{} {
+func (c *ChanCounter) satisfied(level uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return level <= c.value
+}
+
+// acquire returns the gate to wait on for level with the caller counted
+// as a waiter, or nil if the level is already satisfied. Every acquire
+// must be paired with a release.
+func (c *ChanCounter) acquire(level uint64) *gate {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if level <= c.value {
 		return nil
 	}
 	if c.levels == nil {
-		c.levels = make(map[uint64]chan struct{})
+		c.levels = make(map[uint64]*gate)
 	}
-	ch, ok := c.levels[level]
+	g, ok := c.levels[level]
 	if !ok {
-		ch = make(chan struct{})
-		c.levels[level] = ch
+		g = &gate{ch: make(chan struct{})}
+		c.levels[level] = g
 	}
-	return ch
+	g.refs++
+	return g
 }
 
-// Reset implements Interface. Because waiters hold no registration beyond
-// the level channel, Reset panics if any level channel is still live.
+// release drops the caller's claim on g. The last waiter to leave a gate
+// that was never satisfied (its map entry still points at g) reclaims the
+// entry, so a level abandoned by cancellation costs nothing once its
+// waiters are gone. Satisfied gates were already removed by Increment.
+func (c *ChanCounter) release(level uint64, g *gate) {
+	c.mu.Lock()
+	g.refs--
+	if g.refs == 0 && c.levels[level] == g {
+		delete(c.levels, level)
+	}
+	c.mu.Unlock()
+}
+
+// Reset implements Interface. A live gate means goroutines are still
+// parked on the counter, which the paper forbids during Reset.
 func (c *ChanCounter) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -104,8 +150,10 @@ func (c *ChanCounter) Value() uint64 {
 	return c.value
 }
 
-// LiveLevels reports the number of distinct levels currently waited on
-// (including abandoned ones not yet passed). For tests of the cost model.
+// LiveLevels reports the number of distinct levels currently waited on.
+// Cancelled-and-abandoned levels are reclaimed by their last departing
+// waiter, so this returns to zero once no goroutine is waiting. For
+// tests of the cost model.
 func (c *ChanCounter) LiveLevels() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

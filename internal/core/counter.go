@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
 )
 
 // Counter is the reference monotonic-counter implementation, following
@@ -16,33 +15,26 @@ import (
 // proportional to the number of distinct levels with waiters, not to the
 // total number of waiting goroutines.
 //
+// The blocking machinery (suspension, wake-up, cancellation) is the
+// shared waitlist engine; Counter contributes the sorted-list index and
+// the cost-model instrumentation.
+//
 // The zero value is a valid counter with value zero.
 type Counter struct {
-	mu      sync.Mutex
-	value   uint64
-	head    *node // ascending by level; a satisfied ("set") prefix may linger while draining
-	waiters int   // total suspended goroutines, for Reset misuse detection
+	wl    waitlist
+	value uint64
+	list  listIndex // ascending by level; a satisfied ("set") prefix may linger while draining
 
-	// Cost-model instrumentation (section 7 claims). Updated under mu.
+	// Cost-model instrumentation (section 7 claims). Updated under wl.mu.
 	stats Stats
-}
-
-// node is one suspension queue: all goroutines waiting for the same level.
-// It mirrors the four-field structure of the paper's Figure 2: a level, a
-// count of waiting threads, a condition variable with its "set" flag, and a
-// link to the next node.
-type node struct {
-	level uint64
-	count int
-	set   bool
-	cond  sync.Cond
-	next  *node
 }
 
 // Stats are cumulative cost-model measurements for one counter.
 type Stats struct {
-	// PeakLevels is the maximum number of list nodes (distinct waited-on
-	// levels) ever present at once.
+	// PeakLevels is the maximum number of distinct not-yet-satisfied
+	// levels (live list nodes) ever waited on at once. Satisfied nodes
+	// still draining their waiters are not counted: they no longer
+	// represent a waited-on level.
 	PeakLevels int
 	// Broadcasts counts condition-variable broadcasts issued by
 	// Increment; the paper's design issues one per satisfied level.
@@ -59,152 +51,101 @@ type Stats struct {
 // exists for symmetry with the other implementations' constructors.
 func New() *Counter { return new(Counter) }
 
+// Counter is its own levelIndex: it delegates to the sorted list and
+// layers the PeakLevels measurement onto node creation (a zero count
+// marks a node acquire just created).
+
+func (c *Counter) acquire(w *waitlist, level uint64) *waitNode {
+	n := c.list.acquire(w, level)
+	if n.count == 0 {
+		if l := c.list.liveLen(); l > c.stats.PeakLevels {
+			c.stats.PeakLevels = l
+		}
+	}
+	return n
+}
+
+func (c *Counter) drop(n *waitNode) { c.list.drop(n) }
+
 // Increment implements Interface.
 func (c *Counter) Increment(amount uint64) {
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
 	c.stats.Increments++
 	// Mark the satisfied prefix. Nodes stay linked until their last
 	// waiter drains (matching the structure shown in Figure 2 (e)-(g));
 	// already-set nodes from a previous increment are skipped.
-	for n := c.head; n != nil && n.level <= c.value; n = n.next {
+	for n := c.list.head; n != nil && n.level <= c.value; n = n.next {
 		if !n.set {
-			n.set = true
-			n.cond.Broadcast()
+			c.wl.satisfy(n)
 			c.stats.Broadcasts++
 		}
 	}
-	c.mu.Unlock()
+	c.wl.mu.Unlock()
 }
 
 // Check implements Interface.
 func (c *Counter) Check(level uint64) {
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	if level <= c.value {
 		c.stats.ImmediateChecks++
-		c.mu.Unlock()
+		c.wl.mu.Unlock()
 		return
 	}
 	n := c.join(level)
-	for !n.set {
-		n.cond.Wait()
-	}
+	c.wl.wait(n)
 	c.leave(n)
-	c.mu.Unlock()
+	c.wl.mu.Unlock()
 }
 
-// CheckContext implements Interface.
+// CheckContext implements Interface. An already-satisfied level wins
+// over an already-cancelled context, and no goroutine is spawned on
+// behalf of the call: cancellation is observed by selecting on the
+// node's ready channel.
 func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	done := ctx.Done()
 	if done == nil {
 		c.Check(level)
 		return nil
 	}
-	c.mu.Lock()
+	c.wl.mu.Lock()
 	if level <= c.value {
 		c.stats.ImmediateChecks++
-		c.mu.Unlock()
+		c.wl.mu.Unlock()
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		c.wl.mu.Unlock()
+		return err
+	}
 	n := c.join(level)
-	// sync.Cond cannot select on a channel, so a watcher goroutine turns
-	// context cancellation into a broadcast. The stop channel bounds the
-	// watcher's lifetime to this call.
-	stop := make(chan struct{})
-	go func() {
-		select {
-		case <-done:
-			c.mu.Lock()
-			n.cond.Broadcast()
-			c.mu.Unlock()
-		case <-stop:
-		}
-	}()
-	for !n.set && ctx.Err() == nil {
-		n.cond.Wait()
-	}
-	close(stop)
-	var err error
-	if !n.set {
-		err = ctx.Err()
-	}
+	err := c.wl.waitCtx(ctx, n)
 	c.leave(n)
-	c.mu.Unlock()
+	c.wl.mu.Unlock()
 	return err
 }
 
-// join finds or inserts the node for level (which must exceed c.value) and
-// registers the caller as a waiter. Called with c.mu held.
-func (c *Counter) join(level uint64) *node {
-	n := c.insert(level)
-	n.count++
-	c.waiters++
+// join registers the caller as a waiter on the node for level (which must
+// exceed c.value). Called with wl.mu held.
+func (c *Counter) join(level uint64) *waitNode {
+	n := c.wl.join(c, level)
 	c.stats.Suspends++
 	return n
 }
 
 // leave deregisters the caller from n; the goroutine that drops a node's
-// count to zero unlinks it (the paper's "deallocates the node" — here the
-// garbage collector reclaims it once unlinked). Called with c.mu held.
-func (c *Counter) leave(n *node) {
-	n.count--
-	c.waiters--
-	if n.count == 0 {
-		c.unlink(n)
-	}
-}
-
-// insert returns the list node for level, creating and splicing in a new
-// one if none exists. The list is ordered ascending by level; a satisfied
-// prefix may be present but its levels are <= c.value < level, so ordering
-// is preserved. Called with c.mu held.
-func (c *Counter) insert(level uint64) *node {
-	p := &c.head
-	for *p != nil && (*p).level < level {
-		p = &(*p).next
-	}
-	if *p != nil && (*p).level == level && !(*p).set {
-		return *p
-	}
-	n := &node{level: level, next: *p}
-	n.cond.L = &c.mu
-	*p = n
-	if l := c.listLen(); l > c.stats.PeakLevels {
-		c.stats.PeakLevels = l
-	}
-	return n
-}
-
-// unlink removes n from the waiting list if still present. Called with
-// c.mu held.
-func (c *Counter) unlink(n *node) {
-	for p := &c.head; *p != nil; p = &(*p).next {
-		if *p == n {
-			*p = n.next
-			n.next = nil
-			return
-		}
-	}
-}
-
-func (c *Counter) listLen() int {
-	l := 0
-	for n := c.head; n != nil; n = n.next {
-		l++
-	}
-	return l
+// count to zero unlinks it. Called with wl.mu held.
+func (c *Counter) leave(n *waitNode) {
+	c.wl.leave(c, n)
 }
 
 // Reset implements Interface. It panics if any goroutine is suspended on
 // the counter, since the paper forbids Reset concurrent with other
 // operations.
 func (c *Counter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.waiters != 0 || c.head != nil {
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	if c.wl.waiters != 0 || c.list.head != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value = 0
@@ -212,15 +153,15 @@ func (c *Counter) Reset() {
 
 // Value implements Interface. For inspection and testing only.
 func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	return c.value
 }
 
 // Stats returns a copy of the counter's cumulative cost statistics.
 func (c *Counter) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	return c.stats
 }
 
@@ -262,13 +203,14 @@ func (s Snapshot) String() string {
 // testing only (it is how the Figure 2 trace is reproduced); synchronization
 // decisions must never be based on it.
 func (c *Counter) Inspect() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	s := Snapshot{Value: c.value}
-	for n := c.head; n != nil; n = n.next {
+	for n := c.list.head; n != nil; n = n.next {
 		s.Nodes = append(s.Nodes, NodeSnapshot{Level: n.level, Count: n.count, Set: n.set})
 	}
 	return s
 }
 
 var _ Interface = (*Counter)(nil)
+var _ levelIndex = (*Counter)(nil)

@@ -256,12 +256,17 @@ func TestCheckContextSatisfiedIgnoresLiveContext(t *testing.T) {
 }
 
 func TestCheckContextAlreadyCancelled(t *testing.T) {
+	// A satisfied level beats a cancelled context: the pre-cancelled
+	// context only matters for levels the value does not yet satisfy.
 	forEachImpl(t, func(t *testing.T, c Interface) {
 		c.Increment(5)
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		if err := c.CheckContext(ctx, 5); err != context.Canceled {
-			t.Fatalf("CheckContext with pre-cancelled ctx = %v, want Canceled", err)
+		if err := c.CheckContext(ctx, 5); err != nil {
+			t.Fatalf("CheckContext on satisfied level with pre-cancelled ctx = %v, want nil", err)
+		}
+		if err := c.CheckContext(ctx, 6); err != context.Canceled {
+			t.Fatalf("CheckContext on unsatisfied level with pre-cancelled ctx = %v, want Canceled", err)
 		}
 	})
 }

@@ -37,5 +37,12 @@
 //     calls whose level is already satisfied.
 //
 // All implementations share identical blocking semantics; the test suite
-// checks them against a single sequential model.
+// checks them against a single sequential model. The condition-variable
+// based implementations are built on one shared waitlist engine whose
+// per-level nodes pair a condition variable with a close-on-satisfy
+// channel, so context cancellation (CheckContext, WaitTimeout — both
+// extensions beyond the paper) is a channel select: no implementation
+// spawns a goroutine on behalf of a caller, a satisfied level always
+// beats a cancelled context, and the last cancelled waiter on a level
+// reclaims the level's node.
 package core

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
 )
 
 // HeapCounter is a monotonic counter whose waiter nodes are organized as a
@@ -10,182 +9,106 @@ import (
 // reference design. Check inserts in O(log L) rather than O(L) (L = number
 // of distinct waited-on levels); Increment pops satisfied levels in
 // O(k log L) for k satisfied levels. It is an ablation of the section 7
-// design for the E11 experiment.
+// design for the E11 experiment; the blocking machinery is the shared
+// waitlist engine.
 //
 // The zero value is a valid counter with value zero.
 type HeapCounter struct {
-	mu      sync.Mutex
-	value   uint64
-	heap    []*heapNode          // min-heap by level
-	byLevel map[uint64]*heapNode // level -> live node, for coalescing waiters
-	waiters int
-	peak    int
+	wl    waitlist
+	value uint64
+	index heapIndex
+	peak  int
 }
 
-type heapNode struct {
-	level uint64
-	count int
-	set   bool
-	cond  sync.Cond
+// heapIndex organizes live waitNodes as a min-heap by level plus a map
+// for waiter coalescing. Satisfied nodes are popped eagerly by
+// Increment, so unlike the list index it never holds set nodes.
+type heapIndex struct {
+	heap    []*waitNode
+	byLevel map[uint64]*waitNode // level -> live node, for coalescing waiters
 }
 
-// NewHeap returns a HeapCounter with value zero.
-func NewHeap() *HeapCounter { return new(HeapCounter) }
-
-// Increment implements Interface.
-func (c *HeapCounter) Increment(amount uint64) {
-	c.mu.Lock()
-	c.value = checkedAdd(c.value, amount)
-	for len(c.heap) > 0 && c.heap[0].level <= c.value {
-		n := c.popMin()
-		delete(c.byLevel, n.level)
-		n.set = true
-		n.cond.Broadcast()
+func (h *heapIndex) acquire(w *waitlist, level uint64) *waitNode {
+	if n := h.byLevel[level]; n != nil {
+		return n
 	}
-	c.mu.Unlock()
-}
-
-// Check implements Interface.
-func (c *HeapCounter) Check(level uint64) {
-	c.mu.Lock()
-	if level <= c.value {
-		c.mu.Unlock()
-		return
+	if h.byLevel == nil {
+		h.byLevel = make(map[uint64]*waitNode)
 	}
-	n := c.join(level)
-	for !n.set {
-		n.cond.Wait()
-	}
-	n.count--
-	c.waiters--
-	c.mu.Unlock()
-}
-
-// CheckContext implements Interface.
-func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	done := ctx.Done()
-	if done == nil {
-		c.Check(level)
-		return nil
-	}
-	c.mu.Lock()
-	if level <= c.value {
-		c.mu.Unlock()
-		return nil
-	}
-	n := c.join(level)
-	stop := make(chan struct{})
-	go func() {
-		select {
-		case <-done:
-			c.mu.Lock()
-			n.cond.Broadcast()
-			c.mu.Unlock()
-		case <-stop:
-		}
-	}()
-	for !n.set && ctx.Err() == nil {
-		n.cond.Wait()
-	}
-	close(stop)
-	var err error
-	if !n.set {
-		err = ctx.Err()
-	}
-	n.count--
-	c.waiters--
-	if n.count == 0 && !n.set {
-		// Cancelled node with no remaining waiters: remove it from the
-		// heap so an abandoned level does not accumulate.
-		c.removeNode(n)
-		delete(c.byLevel, n.level)
-	}
-	c.mu.Unlock()
-	return err
-}
-
-// join registers the caller on the node for level, creating it if needed.
-// Called with c.mu held and level > c.value.
-func (c *HeapCounter) join(level uint64) *heapNode {
-	if c.byLevel == nil {
-		c.byLevel = make(map[uint64]*heapNode)
-	}
-	n := c.byLevel[level]
-	if n == nil {
-		n = &heapNode{level: level}
-		n.cond.L = &c.mu
-		c.byLevel[level] = n
-		c.push(n)
-		if len(c.heap) > c.peak {
-			c.peak = len(c.heap)
-		}
-	}
-	n.count++
-	c.waiters++
+	n := newWaitNode(w, level)
+	h.byLevel[level] = n
+	h.push(n)
 	return n
 }
 
-func (c *HeapCounter) push(n *heapNode) {
-	c.heap = append(c.heap, n)
-	c.siftUp(len(c.heap) - 1)
+// drop removes a node whose last waiter cancelled before satisfaction,
+// so an abandoned level does not accumulate. Satisfied nodes were
+// already popped by Increment and need no work here.
+func (h *heapIndex) drop(n *waitNode) {
+	if n.set {
+		return
+	}
+	h.removeNode(n)
+	delete(h.byLevel, n.level)
 }
 
-func (c *HeapCounter) siftUp(i int) {
+func (h *heapIndex) push(n *waitNode) {
+	h.heap = append(h.heap, n)
+	h.siftUp(len(h.heap) - 1)
+}
+
+func (h *heapIndex) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if c.heap[parent].level <= c.heap[i].level {
+		if h.heap[parent].level <= h.heap[i].level {
 			break
 		}
-		c.heap[parent], c.heap[i] = c.heap[i], c.heap[parent]
+		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
 		i = parent
 	}
 }
 
-func (c *HeapCounter) popMin() *heapNode {
-	n := c.heap[0]
-	last := len(c.heap) - 1
-	c.heap[0] = c.heap[last]
-	c.heap[last] = nil
-	c.heap = c.heap[:last]
-	c.siftDown(0)
+func (h *heapIndex) popMin() *waitNode {
+	n := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap[last] = nil
+	h.heap = h.heap[:last]
+	h.siftDown(0)
 	return n
 }
 
-func (c *HeapCounter) siftDown(i int) {
+func (h *heapIndex) siftDown(i int) {
 	for {
 		l, r, min := 2*i+1, 2*i+2, i
-		if l < len(c.heap) && c.heap[l].level < c.heap[min].level {
+		if l < len(h.heap) && h.heap[l].level < h.heap[min].level {
 			min = l
 		}
-		if r < len(c.heap) && c.heap[r].level < c.heap[min].level {
+		if r < len(h.heap) && h.heap[r].level < h.heap[min].level {
 			min = r
 		}
 		if min == i {
 			return
 		}
-		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		h.heap[i], h.heap[min] = h.heap[min], h.heap[i]
 		i = min
 	}
 }
 
 // removeNode deletes n from an arbitrary heap position (cancellation path).
-// Called with c.mu held.
-func (c *HeapCounter) removeNode(n *heapNode) {
-	for i, h := range c.heap {
-		if h == n {
-			last := len(c.heap) - 1
-			c.heap[i] = c.heap[last]
-			c.heap[last] = nil
-			c.heap = c.heap[:last]
+func (h *heapIndex) removeNode(n *waitNode) {
+	for i, hn := range h.heap {
+		if hn == n {
+			last := len(h.heap) - 1
+			h.heap[i] = h.heap[last]
+			h.heap[last] = nil
+			h.heap = h.heap[:last]
 			if i < last {
 				// The swapped-in element may belong above or below i.
-				if i > 0 && c.heap[i].level < c.heap[(i-1)/2].level {
-					c.siftUp(i)
+				if i > 0 && h.heap[i].level < h.heap[(i-1)/2].level {
+					h.siftUp(i)
 				} else {
-					c.siftDown(i)
+					h.siftDown(i)
 				}
 			}
 			return
@@ -193,11 +116,80 @@ func (c *HeapCounter) removeNode(n *heapNode) {
 	}
 }
 
+var _ levelIndex = (*heapIndex)(nil)
+
+// NewHeap returns a HeapCounter with value zero.
+func NewHeap() *HeapCounter { return new(HeapCounter) }
+
+// HeapCounter is its own levelIndex, layering peak tracking over the heap.
+
+func (c *HeapCounter) acquire(w *waitlist, level uint64) *waitNode {
+	n := c.index.acquire(w, level)
+	if len(c.index.heap) > c.peak {
+		c.peak = len(c.index.heap)
+	}
+	return n
+}
+
+func (c *HeapCounter) drop(n *waitNode) { c.index.drop(n) }
+
+// Increment implements Interface.
+func (c *HeapCounter) Increment(amount uint64) {
+	c.wl.mu.Lock()
+	c.value = checkedAdd(c.value, amount)
+	for len(c.index.heap) > 0 && c.index.heap[0].level <= c.value {
+		n := c.index.popMin()
+		delete(c.index.byLevel, n.level)
+		c.wl.satisfy(n)
+	}
+	c.wl.mu.Unlock()
+}
+
+// Check implements Interface.
+func (c *HeapCounter) Check(level uint64) {
+	c.wl.mu.Lock()
+	if level <= c.value {
+		c.wl.mu.Unlock()
+		return
+	}
+	n := c.wl.join(c, level)
+	c.wl.wait(n)
+	c.wl.leave(c, n)
+	c.wl.mu.Unlock()
+}
+
+// CheckContext implements Interface. The value is consulted before the
+// context so an already-satisfied level wins over an already-cancelled
+// context; cancellation is a select on the node's ready channel, with no
+// watcher goroutine, and the last cancelled waiter removes the level
+// from the heap.
+func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.wl.mu.Lock()
+	if level <= c.value {
+		c.wl.mu.Unlock()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		c.wl.mu.Unlock()
+		return err
+	}
+	n := c.wl.join(c, level)
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.leave(c, n)
+	c.wl.mu.Unlock()
+	return err
+}
+
 // Reset implements Interface.
 func (c *HeapCounter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.waiters != 0 || len(c.heap) != 0 {
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	if c.wl.waiters != 0 || len(c.index.heap) != 0 {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value = 0
@@ -205,17 +197,18 @@ func (c *HeapCounter) Reset() {
 
 // Value implements Interface. For inspection and testing only.
 func (c *HeapCounter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	return c.value
 }
 
 // PeakLevels reports the maximum number of distinct levels simultaneously
 // waited on over the counter's lifetime.
 func (c *HeapCounter) PeakLevels() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
 	return c.peak
 }
 
 var _ Interface = (*HeapCounter)(nil)
+var _ levelIndex = (*HeapCounter)(nil)

@@ -27,6 +27,13 @@ type Interface interface {
 	// extension beyond the paper (which targets systems without
 	// cancellation); a cancelled CheckContext has no effect on the
 	// counter.
+	//
+	// A satisfied level beats a cancelled context: if value >= level
+	// when the call is made — even with an already-expired context —
+	// CheckContext returns nil, preserving "once Check(level) would
+	// pass, it passes forever". Implementations suspend by selecting
+	// on a per-level channel and never spawn a goroutine on behalf of
+	// the call.
 	CheckContext(ctx context.Context, level uint64) error
 
 	// Reset sets the value back to zero so the counter can be reused
@@ -44,7 +51,9 @@ type Interface interface {
 
 // WaitTimeout suspends until c's value reaches level or the timeout
 // elapses, reporting whether the level was reached. It is a convenience
-// wrapper over CheckContext and shares its caveats.
+// wrapper over CheckContext and shares its caveats; in particular a
+// satisfied level beats an expired deadline, so WaitTimeout(c, level, 0)
+// reports true whenever the value already satisfies level.
 func WaitTimeout(c Interface, level uint64, d time.Duration) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()

@@ -6,9 +6,9 @@ package core
 // ((a) construction through (g) a thread resuming) maps to one Sim call,
 // and Snapshot exposes the resulting structure deterministically.
 //
-// Sim manipulates the same insert/join/leave bookkeeping the concurrent
-// Counter uses, so the trace it produces is the trace of the production
-// data structure, not of a parallel model.
+// Sim manipulates the same join/satisfy/leave bookkeeping the concurrent
+// Counter uses (via the shared waitlist engine), so the trace it produces
+// is the trace of the production data structure, not of a parallel model.
 type Sim struct {
 	c Counter
 }
@@ -19,8 +19,8 @@ func NewSim() *Sim { return new(Sim) }
 // Check simulates a thread calling Check(level). It reports whether the
 // thread suspended (level > value) or passed straight through.
 func (s *Sim) Check(level uint64) bool {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	s.c.wl.mu.Lock()
+	defer s.c.wl.mu.Unlock()
 	if level <= s.c.value {
 		s.c.stats.ImmediateChecks++
 		return false
@@ -32,15 +32,16 @@ func (s *Sim) Check(level uint64) bool {
 // Increment simulates Increment(amount): the value rises and every node at
 // a satisfied level has its condition set. Suspended simulated threads do
 // not resume until Resume is called for their level, which is exactly the
-// window in which Figure 2 states (e) and (f) are observable.
+// window in which Figure 2 states (e) and (f) are observable. (Broadcasting
+// to simulated threads is harmless: none of them sleeps on the condvar.)
 func (s *Sim) Increment(amount uint64) {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	s.c.wl.mu.Lock()
+	defer s.c.wl.mu.Unlock()
 	s.c.value = checkedAdd(s.c.value, amount)
 	s.c.stats.Increments++
-	for n := s.c.head; n != nil && n.level <= s.c.value; n = n.next {
+	for n := s.c.list.head; n != nil && n.level <= s.c.value; n = n.next {
 		if !n.set {
-			n.set = true
+			s.c.wl.satisfy(n)
 			s.c.stats.Broadcasts++
 		}
 	}
@@ -51,9 +52,9 @@ func (s *Sim) Increment(amount uint64) {
 // unlinks the node. It reports whether a thread was resumable (a set node
 // with waiters exists at level).
 func (s *Sim) Resume(level uint64) bool {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
-	for n := s.c.head; n != nil; n = n.next {
+	s.c.wl.mu.Lock()
+	defer s.c.wl.mu.Unlock()
+	for n := s.c.list.head; n != nil; n = n.next {
 		if n.level == level && n.set && n.count > 0 {
 			s.c.leave(n)
 			return true

@@ -51,21 +51,22 @@ func (c *SpinCounter) Check(level uint64) {
 }
 
 // CheckContext implements Interface. The spin phase polls the context
-// between probes.
+// between probes, always consulting the value first so that an
+// already-satisfied level wins over an already-cancelled context.
 func (c *SpinCounter) CheckContext(ctx context.Context, level uint64) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	if level <= c.a.value.Load() {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i := 0; i < c.budget(); i++ {
 		runtime.Gosched()
-		if err := ctx.Err(); err != nil {
-			return err
-		}
 		if level <= c.a.value.Load() {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 	return c.a.CheckContext(ctx, level)

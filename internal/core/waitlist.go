@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// This file is the shared blocking engine behind the condition-variable
+// based implementations (Counter, AtomicCounter, HeapCounter,
+// BroadcastCounter). Each of them used to carry its own copy of the
+// join/wait/leave slow path, and each copy turned context cancellation
+// into a wake-up by spawning a watcher goroutine per CheckContext call.
+// The engine removes both: the slow path lives here once, and every
+// per-level node carries a close-on-satisfy channel alongside its
+// condition variable, so CheckContext can select on cancellation
+// directly — no goroutine is ever spawned on behalf of a caller.
+//
+// Division of labour: the engine owns the mutex, the waiter accounting,
+// and the suspend/wake protocol; the implementation owns the value and
+// the index that organizes live nodes by level (sorted list, min-heap,
+// or the degenerate wake-everyone node of the naive baseline). That
+// split is what lets the implementations keep their distinguishing
+// data-structure behaviour while sharing one cancellation-correct
+// slow path.
+
+// waitNode is one suspension queue: all goroutines waiting for the same
+// level. It extends the four-field structure of the paper's Figure 2
+// (level, waiter count, condition with its "set" flag, link) with a
+// ready channel that satisfy closes, giving CheckContext a selectable
+// wake-up. Check waiters sleep on cond; CheckContext waiters sleep in a
+// select on ready; satisfy wakes both.
+type waitNode struct {
+	level uint64
+	count int
+	set   bool
+	cond  sync.Cond
+	// ready is closed by satisfy and selected on by waitCtx. It is
+	// allocated lazily by the first cancellable waiter, so nodes used
+	// only by plain Check cost exactly the paper's four fields.
+	ready chan struct{}
+	next  *waitNode // used by list-shaped indexes only
+}
+
+// levelIndex is the per-implementation structure organizing waitNodes by
+// level. All methods are called with the engine mutex held.
+type levelIndex interface {
+	// acquire returns the live (not-yet-satisfied) node for level,
+	// creating one with newWaitNode and indexing it if none exists. A
+	// single operation rather than lookup-then-add so list-shaped
+	// indexes find-or-splice in one walk. A returned node with count
+	// zero was created by this call (drained nodes leave the index
+	// immediately, so none other can have a zero count).
+	acquire(w *waitlist, level uint64) *waitNode
+	// drop is called when a node's last waiter leaves; the index removes
+	// whatever references to n it still holds. For a never-satisfied node
+	// this is the cancellation path reclaiming an abandoned level.
+	drop(n *waitNode)
+}
+
+// newWaitNode returns a node wired to the engine's mutex, for levelIndex
+// implementations to use inside acquire.
+func newWaitNode(w *waitlist, level uint64) *waitNode {
+	n := &waitNode{level: level}
+	n.cond.L = &w.mu
+	return n
+}
+
+// waitlist is the engine. The zero value is ready to use; the index is
+// passed into each call rather than stored so that zero-value counters
+// need no constructor.
+type waitlist struct {
+	mu      sync.Mutex
+	waiters int // total suspended goroutines, for Reset misuse detection
+}
+
+// join registers the caller as a waiter on the node for level, creating
+// and indexing a new node if none is live. Called with w.mu held; the
+// caller must already have established level > value.
+func (w *waitlist) join(idx levelIndex, level uint64) *waitNode {
+	n := idx.acquire(w, level)
+	n.count++
+	w.waiters++
+	return n
+}
+
+// leave deregisters the caller from n; the goroutine that drops a node's
+// count to zero hands it back to the index (the paper's "deallocates the
+// node" — here the garbage collector reclaims it once unindexed). Called
+// with w.mu held.
+func (w *waitlist) leave(idx levelIndex, n *waitNode) {
+	n.count--
+	w.waiters--
+	if n.count == 0 {
+		idx.drop(n)
+	}
+}
+
+// satisfy marks n satisfied and wakes every waiter parked on it, both
+// condvar sleepers and channel selecters. Idempotent. Called with w.mu
+// held by the implementation's Increment.
+func (w *waitlist) satisfy(n *waitNode) {
+	if n.set {
+		return
+	}
+	n.set = true
+	if n.ready != nil {
+		close(n.ready)
+	}
+	n.cond.Broadcast()
+}
+
+// wait blocks on the condition variable until n is satisfied — the plain
+// Check slow path. Called with w.mu held; returns with w.mu held.
+func (w *waitlist) wait(n *waitNode) {
+	for !n.set {
+		n.cond.Wait()
+	}
+}
+
+// waitCtx blocks until n is satisfied or ctx is cancelled, whichever
+// comes first, by selecting on the node's ready channel — no watcher
+// goroutine. Called with w.mu held; returns with w.mu held. If the node
+// was satisfied by the time the lock is reacquired, waitCtx reports nil
+// even when the select woke on cancellation: a satisfied level beats a
+// cancelled context.
+func (w *waitlist) waitCtx(ctx context.Context, n *waitNode) error {
+	ready := n.ready
+	if ready == nil {
+		ready = make(chan struct{})
+		n.ready = ready
+	}
+	w.mu.Unlock()
+	var err error
+	select {
+	case <-ready:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	w.mu.Lock()
+	if n.set {
+		return nil
+	}
+	return err
+}
+
+// listIndex is the sorted singly-linked list of the paper's section 7,
+// shared by Counter and AtomicCounter: ascending by level, with a
+// satisfied ("set") prefix that lingers while its waiters drain.
+type listIndex struct {
+	head *waitNode
+}
+
+// acquire finds or splices in the node for level with a single walk. A
+// satisfied prefix may be present, but its levels are at most the value,
+// which is below any level being joined, so ordering is preserved.
+func (l *listIndex) acquire(w *waitlist, level uint64) *waitNode {
+	p := &l.head
+	for *p != nil && (*p).level < level {
+		p = &(*p).next
+	}
+	if n := *p; n != nil && n.level == level && !n.set {
+		return n
+	}
+	n := newWaitNode(w, level)
+	n.next = *p
+	*p = n
+	return n
+}
+
+func (l *listIndex) drop(n *waitNode) {
+	for p := &l.head; *p != nil; p = &(*p).next {
+		if *p == n {
+			*p = n.next
+			n.next = nil
+			return
+		}
+	}
+}
+
+// liveLen counts the not-yet-satisfied nodes — the "distinct waited-on
+// levels" of the section 7 cost model. The draining satisfied prefix is
+// excluded: those levels are no longer being waited on.
+func (l *listIndex) liveLen() int {
+	live := 0
+	for n := l.head; n != nil; n = n.next {
+		if !n.set {
+			live++
+		}
+	}
+	return live
+}
+
+var _ levelIndex = (*listIndex)(nil)
