@@ -11,24 +11,55 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"monotonic/internal/experiments"
 	"monotonic/internal/harness"
 )
 
+// jsonReport is the machine-readable result format written by -json. It
+// is the unit of the benchmark trajectory: BENCH_<n>.json files checked
+// in at the repo root and the CI bench-smoke artifact both use it, so
+// runs are comparable across commits.
+type jsonReport struct {
+	Schema      string           `json:"schema"` // "counterbench/v1"
+	Date        string           `json:"date"`   // RFC 3339
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
-		quick = flag.Bool("quick", false, "run reduced problem sizes")
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		md    = flag.Bool("md", false, "emit a complete EXPERIMENTS.md (claims + tables + interpretation)")
-		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
+		quick   = flag.Bool("quick", false, "run reduced problem sizes")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		md      = flag.Bool("md", false, "emit a complete EXPERIMENTS.md (claims + tables + interpretation)")
+		csv     = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonOut = flag.String("json", "", "also write machine-readable results (tables + environment) to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +94,16 @@ func main() {
 	if *md {
 		printHeader(cfg)
 	}
+	report := jsonReport{
+		Schema:     "counterbench/v1",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      cfg.Quick,
+	}
 	for _, e := range selected {
 		var tables []*harness.Table
 		if *md {
@@ -79,6 +120,25 @@ func main() {
 					os.Exit(1)
 				}
 			}
+		}
+		if *jsonOut != "" {
+			je := jsonExperiment{ID: e.ID, Title: e.Title}
+			for _, t := range tables {
+				je.Tables = append(je.Tables, jsonTable{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+			}
+			report.Experiments = append(report.Experiments, je)
+		}
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,69 @@
+package counter_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+)
+
+// TestShardedZeroValueReady: the facade's zero value must work on every
+// path, like Counter's.
+func TestShardedZeroValueReady(t *testing.T) {
+	var c counter.Sharded
+	c.Check(0)
+	c.Increment(3)
+	c.Check(3)
+	if err := c.CheckContext(context.Background(), 2); err != nil {
+		t.Fatalf("CheckContext = %v", err)
+	}
+	if !c.WaitTimeout(3, 0) {
+		t.Fatal("WaitTimeout(3, 0) = false on a satisfied level")
+	}
+	c.Reset()
+	c.Check(0)
+}
+
+// TestShardedPublishSubscribe drives the canonical dataflow pattern
+// through the write-optimized counter: many incrementers publish, a
+// reader paces itself, and cancellation behaves like Counter's.
+func TestShardedPublishSubscribe(t *testing.T) {
+	c := counter.NewSharded()
+	const (
+		writers   = 8
+		perWriter = 500
+	)
+	total := uint64(writers * perWriter)
+	done := make(chan struct{})
+	go func() {
+		c.Check(total)
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Increment(1)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader never released at the total")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.CheckContext(ctx, total); err != nil {
+		t.Fatalf("satisfied level lost to a cancelled context: %v", err)
+	}
+	if err := c.CheckContext(ctx, total+1); err != context.Canceled {
+		t.Fatalf("CheckContext(unsatisfied, cancelled) = %v, want Canceled", err)
+	}
+}

@@ -186,7 +186,7 @@ func TestPeakLevelsIgnoresDrainingPrefix(t *testing.T) {
 // the engine never spawns a watcher goroutine per call.
 func TestNoGoroutinePerCheckContext(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {
 			c := NewImpl(impl)
@@ -278,7 +278,7 @@ func TestCancelStormKeepsCounterCorrect(t *testing.T) {
 // live context, and an unsatisfied level under an expired context.
 // ReportAllocs pins the no-goroutine, near-zero-allocation property.
 func BenchmarkCheckContext(b *testing.B) {
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		c := NewImpl(impl)
 		c.Increment(1)
 		live, cancelLive := context.WithCancel(context.Background())
@@ -309,7 +309,7 @@ func BenchmarkCheckContext(b *testing.B) {
 // cancellation releases it. The interesting number is allocations —
 // the engine parks with a channel select, not a watcher goroutine.
 func BenchmarkCheckContextParkCancel(b *testing.B) {
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		b.Run(string(impl), func(b *testing.B) {
 			c := NewImpl(impl)
 			b.ReportAllocs()

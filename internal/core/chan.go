@@ -23,6 +23,7 @@ type ChanCounter struct {
 	mu     sync.Mutex
 	value  uint64
 	levels map[uint64]*gate // level -> close-on-satisfy gate
+	sweeps uint64           // gate-map scans by Increment, for regression tests
 }
 
 // gate is one level's close-on-satisfy channel plus the number of
@@ -35,12 +36,19 @@ type gate struct {
 // NewChan returns a ChanCounter with value zero.
 func NewChan() *ChanCounter { return new(ChanCounter) }
 
-// Increment implements Interface.
+// Increment implements Interface. Increment(0) leaves the value — and
+// therefore every gate — untouched, so it returns without even taking
+// the lock; a real increment scans the gate map only when it is
+// non-empty, since no gate can be satisfied when none exists.
 func (c *ChanCounter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
 	c.mu.Lock()
 	old := c.value
-	c.value = checkedAdd(c.value, amount)
-	if c.levels != nil {
+	c.value = checkedAdd(old, amount)
+	if len(c.levels) != 0 {
+		c.sweeps++
 		for level, g := range c.levels {
 			if level > old && level <= c.value {
 				close(g.ch)

@@ -8,10 +8,12 @@ import (
 	"time"
 )
 
-// forEachImpl runs a subtest against every implementation.
+// forEachImpl runs a subtest against every registered implementation, so
+// a new entry in the registry is covered by the whole conformance
+// battery automatically.
 func forEachImpl(t *testing.T, f func(t *testing.T, c Interface)) {
 	t.Helper()
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {
 			t.Parallel()

@@ -52,7 +52,7 @@ func ExampleSim() {
 
 // Every implementation is constructed through the registry.
 func ExampleNewImpl() {
-	for _, impl := range core.Impls {
+	for _, impl := range core.Registry() {
 		c := core.NewImpl(impl)
 		c.Increment(3)
 		c.Check(3)
@@ -65,4 +65,5 @@ func ExampleNewImpl() {
 	// broadcast 3
 	// atomic 3
 	// spin 3
+	// sharded 3
 }

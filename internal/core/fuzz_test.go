@@ -15,8 +15,9 @@ func FuzzOpsAgainstModel(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 0, 3, 0, 0, 255, 2, 255})
 	f.Fuzz(func(t *testing.T, script []byte) {
-		counters := make([]Interface, len(Impls))
-		for i, impl := range Impls {
+		impls := Registry()
+		counters := make([]Interface, len(impls))
+		for i, impl := range impls {
 			counters[i] = NewImpl(impl)
 		}
 		var model uint64
@@ -45,7 +46,7 @@ func FuzzOpsAgainstModel(f *testing.F) {
 			for j, c := range counters {
 				if got := c.Value(); got != model {
 					t.Fatalf("impl %s diverged: value %d, model %d (step %d)",
-						Impls[j], got, model, i/2)
+						impls[j], got, model, i/2)
 				}
 			}
 		}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression tests for the Increment hot-path fixes: ChanCounter must
+// not scan its gate map when the value cannot have satisfied anything,
+// and SpinCounter's probe budget must be tunable while checks are in
+// flight (a data race before it became atomic).
+
+// chanSweeps reads the gate-scan instrumentation counter.
+func chanSweeps(c *ChanCounter) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sweeps
+}
+
+// TestChanIncrementZeroSkipsGates pins the fast-outs: Increment(0)
+// leaves the value unchanged so it must not visit gates at all, and a
+// real increment with no live gates must not start a scan either.
+func TestChanIncrementZeroSkipsGates(t *testing.T) {
+	c := NewChan()
+	c.Increment(4) // no gates yet: no scan
+	if got := chanSweeps(c); got != 0 {
+		t.Fatalf("sweeps = %d after increment with empty gate map, want 0", got)
+	}
+
+	released := make(chan struct{})
+	go func() {
+		c.Check(10)
+		close(released)
+	}()
+	deadline := time.After(5 * time.Second)
+	for c.LiveLevels() != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never parked")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	c.Increment(0) // value unchanged: must not visit the live gate
+	if got := chanSweeps(c); got != 0 {
+		t.Fatalf("sweeps = %d after Increment(0) with a live gate, want 0 (gates visited)", got)
+	}
+	c.Increment(3) // value moves with a gate live: scan expected
+	if got := chanSweeps(c); got != 1 {
+		t.Fatalf("sweeps = %d after real increment with a live gate, want 1", got)
+	}
+	c.Increment(3) // reaches 10, closes the gate
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never released")
+	}
+	sweepsBefore := chanSweeps(c)
+	c.Increment(5) // map empty again: no scan
+	if got := chanSweeps(c); got != sweepsBefore {
+		t.Fatalf("sweeps went %d -> %d on an increment with an empty gate map", sweepsBefore, got)
+	}
+	if got := c.Value(); got != 15 {
+		t.Fatalf("Value() = %d, want 15", got)
+	}
+}
+
+// TestSpinSetSpinsDuringChecks tunes the spin budget while checks run on
+// other goroutines. Before the budget became atomic this was a data race
+// on the Spins field (caught only under -race, which CI runs on this
+// package); the test also pins that a tiny budget still falls through to
+// the blocking slow path correctly.
+func TestSpinSetSpinsDuringChecks(t *testing.T) {
+	c := NewSpin()
+	var wg sync.WaitGroup
+	const checkers = 4
+	for i := 0; i < checkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for lv := uint64(1); lv <= 200; lv++ {
+				c.Check(lv)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.SetSpins(i % 7) // includes 0: restore default
+			c.Increment(1)
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("checkers hung while the spin budget was being tuned")
+	}
+	if got := c.Value(); got != 200 {
+		t.Fatalf("Value() = %d, want 200", got)
+	}
+}

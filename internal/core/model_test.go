@@ -18,8 +18,9 @@ func TestQuickImplsAgreeWithModel(t *testing.T) {
 	}
 	f := func(seed uint64, n8 uint8) bool {
 		rng := workload.NewRNG(seed)
-		counters := make([]Interface, len(Impls))
-		for i, impl := range Impls {
+		impls := Registry()
+		counters := make([]Interface, len(impls))
+		for i, impl := range impls {
 			counters[i] = NewImpl(impl)
 		}
 		var model uint64
@@ -56,7 +57,7 @@ func TestQuickImplsAgreeWithModel(t *testing.T) {
 			for i, c := range counters {
 				if c.Value() != model {
 					t.Logf("impl %s: value %d, model %d after step %d",
-						Impls[i], c.Value(), model, s)
+						impls[i], c.Value(), model, s)
 					return false
 				}
 			}
@@ -80,7 +81,7 @@ func TestQuickConcurrentImplsConverge(t *testing.T) {
 			amounts[i] = uint64(rng.Intn(50))
 			total += amounts[i]
 		}
-		for _, impl := range Impls {
+		for _, impl := range Registry() {
 			c := NewImpl(impl)
 			done := make(chan struct{})
 			go func() {

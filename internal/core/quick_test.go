@@ -11,7 +11,7 @@ import (
 // (bounded to avoid overflow), applying them concurrently to any
 // implementation yields a final value equal to their sum.
 func TestQuickValueIsSumOfIncrements(t *testing.T) {
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {
 			f := func(raw []uint16) bool {
@@ -40,7 +40,7 @@ func TestQuickValueIsSumOfIncrements(t *testing.T) {
 // whose level is at most the running sum of prior increments returns
 // (the sequential-equivalence property of section 6 relies on this).
 func TestQuickSequentialCheckNeverBlocks(t *testing.T) {
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {
 			f := func(raw []uint8) bool {
@@ -77,7 +77,7 @@ func TestQuickSequentialCheckNeverBlocks(t *testing.T) {
 // the eventual total, concurrent checkers at those levels all release once
 // the increments complete.
 func TestQuickAllSatisfiedWaitersRelease(t *testing.T) {
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {
 			f := func(levels []uint8, chunks []uint8) bool {

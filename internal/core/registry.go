@@ -12,10 +12,20 @@ const (
 	ImplBroadcast Impl = "broadcast" // naive single-condvar baseline
 	ImplAtomic    Impl = "atomic"    // list design + lock-free fast path
 	ImplSpin      Impl = "spin"      // spin-then-block hybrid over the atomic design
+	ImplSharded   Impl = "sharded"   // waiter-gated striped increment fast path
 )
 
 // Impls lists every implementation, reference design first.
-var Impls = []Impl{ImplList, ImplHeap, ImplChan, ImplBroadcast, ImplAtomic, ImplSpin}
+var Impls = []Impl{ImplList, ImplHeap, ImplChan, ImplBroadcast, ImplAtomic, ImplSpin, ImplSharded}
+
+// Registry returns the implementations every conformance, fuzz,
+// cancellation, and stress suite must cover. Test code iterates this
+// (rather than hard-coding names) so a newly registered implementation
+// is picked up by the whole battery automatically. The returned slice is
+// a copy; callers may reorder or filter it.
+func Registry() []Impl {
+	return append([]Impl(nil), Impls...)
+}
 
 // NewImpl constructs a fresh counter of the named implementation. It
 // panics on an unknown name, which is always a programming error.
@@ -33,6 +43,8 @@ func NewImpl(impl Impl) Interface {
 		return NewAtomic()
 	case ImplSpin:
 		return NewSpin()
+	case ImplSharded:
+		return NewSharded()
 	}
 	panic("core: unknown counter implementation " + string(impl))
 }

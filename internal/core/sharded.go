@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// ShardedCounter makes the write path scale with cores: while nobody is
+// waiting, an Increment is a single compare-and-swap on one of
+// GOMAXPROCS cache-padded shard cells, so concurrent incrementers touch
+// disjoint cache lines instead of serializing on a mutex. The moment a
+// Check/CheckContext caller registers as a waiter, an atomic waiter gate
+// flips, the shard residues are flushed into the published value under
+// the engine mutex, and every subsequent Increment takes the exact
+// locked path through the shared waitlist engine — so wake-ups are
+// race-free and all cancellation semantics (satisfied beats cancelled,
+// no watcher goroutines, abandoned levels reclaimed) are inherited from
+// the engine unchanged. When the last waiter leaves, the gate drops and
+// the lock-free fast path resumes.
+//
+// This is the SNZI/LongAdder-style answer to the write-heavy regime: the
+// paper's section 7 cost model prices operations by distinct waited-on
+// levels, but a single-mutex Increment still pays full serialization per
+// update even when nobody is waiting at all. Gating the striped fast
+// path on "are there waiters?" keeps the exact semantics only while they
+// are needed.
+//
+// Reads (Value, the Check fast path) sum the published value plus the
+// shard residues. A stale sum can only under-estimate the true value —
+// shards and the published value are monotone between flushes — so a
+// satisfied fast-path read is always safe, the same argument as
+// AtomicCounter's. A seqlock version around flushes keeps concurrent
+// sums from ever observing a residue twice or a mid-flush tear.
+//
+// Overflow: the fast path panics when a single shard's residue would
+// wrap (which covers any single-goroutine overflow, since a goroutine
+// hashes to a stable shard); an overflow assembled across shards is
+// caught by checkedAdd at the next flush or Value/Check sum. Either way
+// the counter never silently wraps.
+//
+// The zero value is a valid counter with value zero; the shard array is
+// allocated on first use.
+type ShardedCounter struct {
+	// published is the flushed portion of the value: everything the
+	// locked path has ever folded in. True value = published + shard
+	// residues. Mutated only with wl.mu held.
+	published atomic.Uint64
+	// flushSeq is a seqlock version: odd while a flush (or Reset) is
+	// moving residue between shards and published. Readers retry across
+	// it so sums never tear or double-count.
+	flushSeq atomic.Uint64
+	// gate counts registered waiters. Nonzero diverts Increment onto the
+	// exact locked path. Mutated only with wl.mu held; read lock-free.
+	gate atomic.Int32
+
+	shards atomic.Pointer[[]shardCell] // lazily allocated, power-of-two length
+
+	wl   waitlist
+	list listIndex
+}
+
+// shardCell is one stripe of pending increments. Padded to two cache
+// lines so neighbouring cells never false-share (and the adjacent-line
+// prefetcher does not couple them).
+type shardCell struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// NewSharded returns a ShardedCounter with value zero.
+func NewSharded() *ShardedCounter { return new(ShardedCounter) }
+
+// cells returns the shard array, allocating it under the engine mutex on
+// first use so the zero value needs no constructor.
+func (c *ShardedCounter) cells() []shardCell {
+	if p := c.shards.Load(); p != nil {
+		return *p
+	}
+	c.wl.mu.Lock()
+	if c.shards.Load() == nil {
+		n := runtime.GOMAXPROCS(0)
+		size := 1
+		for size < n {
+			size <<= 1
+		}
+		s := make([]shardCell, size)
+		c.shards.Store(&s)
+	}
+	c.wl.mu.Unlock()
+	return *c.shards.Load()
+}
+
+// shardIndex picks a stripe from the address of a stack variable: stacks
+// are per-goroutine, so concurrent incrementers spread across cells,
+// while one goroutine keeps hashing to the same cell (which is what lets
+// the fast path detect a single-goroutine overflow exactly). mask is
+// len(cells)-1, a power of two minus one.
+func shardIndex(mask uint64) uint64 {
+	var marker byte
+	h := uint64(uintptr(unsafe.Pointer(&marker)))
+	h ^= h >> 33
+	h *= 0x9e3779b97f4a7c15
+	return (h >> 24) & mask
+}
+
+// Increment implements Interface. With no waiters registered it is one
+// CAS on a private cache line; with waiters it is exactly the
+// AtomicCounter locked path plus a residue flush.
+func (c *ShardedCounter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
+	if c.gate.Load() == 0 {
+		cells := c.cells()
+		s := &cells[shardIndex(uint64(len(cells)-1))].v
+		for {
+			old := s.Load()
+			if s.CompareAndSwap(old, checkedAdd(old, amount)) {
+				break
+			}
+		}
+		// Dekker-style recheck. A waiter orders gate.Add(1) before its
+		// flush reads the shards; we order the shard CAS before this
+		// load. Both are sequentially consistent atomics, so either the
+		// waiter's flush saw our residue, or this load sees the gate up
+		// and we fold and wake under the lock ourselves. No increment
+		// can land in a shard and leave a satisfied waiter sleeping.
+		if c.gate.Load() != 0 {
+			c.wl.mu.Lock()
+			c.flushLocked()
+			c.wakeLocked()
+			c.wl.mu.Unlock()
+		}
+		return
+	}
+	c.wl.mu.Lock()
+	c.flushLocked()
+	c.published.Store(checkedAdd(c.published.Load(), amount))
+	c.wakeLocked()
+	c.wl.mu.Unlock()
+}
+
+// flushLocked folds every shard residue into the published value. Called
+// with wl.mu held. The seqlock goes odd while residue is in flight
+// between a shard and published, so lock-free sums retry instead of
+// missing (or double-counting) the moving portion.
+func (c *ShardedCounter) flushLocked() {
+	p := c.shards.Load()
+	if p == nil {
+		return
+	}
+	c.flushSeq.Add(1)
+	v := c.published.Load()
+	for i := range *p {
+		s := &(*p)[i].v
+		for {
+			r := s.Load()
+			if r == 0 {
+				break
+			}
+			if s.CompareAndSwap(r, 0) {
+				v = checkedAdd(v, r)
+				break
+			}
+		}
+	}
+	c.published.Store(v)
+	c.flushSeq.Add(1)
+}
+
+// wakeLocked satisfies every list node the published value now covers.
+// Called with wl.mu held.
+func (c *ShardedCounter) wakeLocked() {
+	v := c.published.Load()
+	for n := c.list.head; n != nil && n.level <= v; n = n.next {
+		c.wl.satisfy(n)
+	}
+}
+
+// sum returns published + shard residues, retrying across flushes. A
+// completed sum is at least the true value at its start and at most the
+// true value at its end, so values returned to any single observer are
+// monotone.
+func (c *ShardedCounter) sum() uint64 {
+	for {
+		s1 := c.flushSeq.Load()
+		if s1&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		v := c.published.Load()
+		if p := c.shards.Load(); p != nil {
+			for i := range *p {
+				v = checkedAdd(v, (*p)[i].v.Load())
+			}
+		}
+		if c.flushSeq.Load() == s1 {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// Check implements Interface. The fast path is entirely lock-free: a
+// stale sum only under-estimates the monotone value, so a satisfied read
+// is safe, and an unsatisfied one re-checks under the mutex after
+// raising the gate.
+func (c *ShardedCounter) Check(level uint64) {
+	if level <= c.published.Load() || level <= c.sum() {
+		return
+	}
+	c.wl.mu.Lock()
+	c.gate.Add(1)
+	// From here every Increment either lands under this mutex or — if it
+	// raced past the gate into a shard — re-flushes under the mutex
+	// itself, so the flush below plus the engine's wake protocol cannot
+	// miss a satisfying update.
+	c.flushLocked()
+	if level <= c.published.Load() {
+		c.gate.Add(-1)
+		c.wl.mu.Unlock()
+		return
+	}
+	n := c.wl.join(&c.list, level)
+	c.wl.wait(n)
+	c.wl.leave(&c.list, n)
+	c.gate.Add(-1)
+	c.wl.mu.Unlock()
+}
+
+// CheckContext implements Interface. The value is consulted before the
+// context at every stage, so an already-satisfied level wins over an
+// already-cancelled context; the blocking path selects on the node's
+// ready channel, spawning no goroutine.
+func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
+	if level <= c.published.Load() || level <= c.sum() {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.wl.mu.Lock()
+	c.gate.Add(1)
+	c.flushLocked()
+	if level <= c.published.Load() {
+		c.gate.Add(-1)
+		c.wl.mu.Unlock()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		c.gate.Add(-1)
+		c.wl.mu.Unlock()
+		return err
+	}
+	n := c.wl.join(&c.list, level)
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.leave(&c.list, n)
+	c.gate.Add(-1)
+	c.wl.mu.Unlock()
+	return err
+}
+
+// Reset implements Interface.
+func (c *ShardedCounter) Reset() {
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	if c.wl.waiters != 0 || c.list.head != nil {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.flushSeq.Add(1)
+	if p := c.shards.Load(); p != nil {
+		for i := range *p {
+			(*p)[i].v.Store(0)
+		}
+	}
+	c.published.Store(0)
+	c.flushSeq.Add(1)
+}
+
+// Value implements Interface. For inspection and testing only.
+func (c *ShardedCounter) Value() uint64 { return c.sum() }
+
+var _ Interface = (*ShardedCounter)(nil)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
 )
 
 // defaultSpins is the number of yield-spin probes SpinCounter makes
@@ -20,15 +21,28 @@ const defaultSpins = 64
 // The zero value is a valid counter with value zero.
 type SpinCounter struct {
 	a     AtomicCounter
-	Spins int // probe budget; 0 means defaultSpins
+	spins atomic.Int64 // probe budget; 0 means defaultSpins
 }
 
 // NewSpin returns a SpinCounter with the default spin budget.
 func NewSpin() *SpinCounter { return new(SpinCounter) }
 
+// SetSpins sets the probe budget; n <= 0 restores the default. It is
+// safe to call concurrently with Check/CheckContext on other goroutines:
+// the budget is stored atomically and each Check snapshots it once on
+// entry to its spin phase, so a mid-flight tune affects only subsequent
+// checks.
+func (c *SpinCounter) SetSpins(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.spins.Store(int64(n))
+}
+
+// budget snapshots the current probe budget.
 func (c *SpinCounter) budget() int {
-	if c.Spins > 0 {
-		return c.Spins
+	if n := c.spins.Load(); n > 0 {
+		return int(n)
 	}
 	return defaultSpins
 }
@@ -41,7 +55,8 @@ func (c *SpinCounter) Check(level uint64) {
 	if level <= c.a.value.Load() {
 		return
 	}
-	for i := 0; i < c.budget(); i++ {
+	budget := c.budget()
+	for i := 0; i < budget; i++ {
 		runtime.Gosched()
 		if level <= c.a.value.Load() {
 			return
@@ -60,7 +75,8 @@ func (c *SpinCounter) CheckContext(ctx context.Context, level uint64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for i := 0; i < c.budget(); i++ {
+	budget := c.budget()
+	for i := 0; i < budget; i++ {
 		runtime.Gosched()
 		if level <= c.a.value.Load() {
 			return nil

@@ -22,7 +22,7 @@ func TestStressRandomizedOps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {
 			t.Parallel()
@@ -129,7 +129,7 @@ func TestStressResetCycles(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
-	for _, impl := range Impls {
+	for _, impl := range Registry() {
 		c := NewImpl(impl)
 		for cycle := 0; cycle < 200; cycle++ {
 			var wg sync.WaitGroup
