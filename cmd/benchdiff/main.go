@@ -1,0 +1,255 @@
+// Command benchdiff compares two counterbench -json reports and prints
+// per-benchmark deltas for every timing cell the two runs share. It is
+// the trajectory tool behind the checked-in BENCH_<n>.json files: run it
+// against the previous snapshot to see what a change did to the
+// experiment suite.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 0.25 old.json new.json   # custom warn bar
+//	benchdiff -fail old.json new.json             # exit 1 on regressions
+//
+// Rows are matched by experiment ID, table title, and the row's identity
+// cells (implementation names, sizes — anything that is not a measured
+// quantity), so reordered or added rows diff cleanly. Timing cells are
+// parsed back from the harness's human format ("417ns", "97.9µs",
+// "7.94ms", "1.234s"). Ratio and rate cells are derived quantities and
+// are skipped. By default regressions beyond the threshold are warnings,
+// not failures: single-run experiment timings are noisy, and the CI
+// bench-smoke job runs quick mode on shared runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type report struct {
+	Schema      string       `json:"schema"`
+	Date        string       `json:"date"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Quick       bool         `json:"quick"`
+	Experiments []experiment `json:"experiments"`
+}
+
+type experiment struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Tables []table `json:"tables"`
+}
+
+type table struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.25, "relative slowdown above which a WARN is printed")
+		fail      = flag.Bool("fail", false, "exit nonzero if any cell regresses beyond the threshold")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] [-fail] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if oldRep.Quick != newRep.Quick {
+		fmt.Printf("note: comparing quick=%v against quick=%v — sizes differ, deltas are not meaningful\n",
+			oldRep.Quick, newRep.Quick)
+	}
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("note: GOMAXPROCS differs (%d vs %d)\n", oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
+
+	regressions := diff(oldRep, newRep, *threshold)
+	if regressions > 0 {
+		fmt.Printf("\n%d cell(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		if *fail {
+			os.Exit(1)
+		}
+	}
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.Schema != "counterbench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// diff walks every table the two reports share and prints the timing
+// deltas. It returns the number of cells that regressed beyond the
+// threshold.
+func diff(oldRep, newRep *report, threshold float64) int {
+	oldTables := index(oldRep)
+	regressions := 0
+	for _, e := range newRep.Experiments {
+		for _, nt := range e.Tables {
+			key := e.ID + "\x00" + nt.Title
+			ot, ok := oldTables[key]
+			if !ok {
+				fmt.Printf("%s %q: only in new report\n", e.ID, nt.Title)
+				continue
+			}
+			regressions += diffTable(e.ID, ot, nt, threshold)
+		}
+	}
+	newKeys := make(map[string]bool)
+	for _, e := range newRep.Experiments {
+		for _, t := range e.Tables {
+			newKeys[e.ID+"\x00"+t.Title] = true
+		}
+	}
+	for _, e := range oldRep.Experiments {
+		for _, t := range e.Tables {
+			if !newKeys[e.ID+"\x00"+t.Title] {
+				fmt.Printf("%s %q: only in old report\n", e.ID, t.Title)
+			}
+		}
+	}
+	return regressions
+}
+
+func index(r *report) map[string]table {
+	m := make(map[string]table)
+	for _, e := range r.Experiments {
+		for _, t := range e.Tables {
+			m[e.ID+"\x00"+t.Title] = t
+		}
+	}
+	return m
+}
+
+func diffTable(expID string, oldT, newT table, threshold float64) int {
+	oldRows := make(map[string][]string)
+	for _, row := range oldT.Rows {
+		oldRows[rowKey(row)] = row
+	}
+	regressions := 0
+	printedHeader := false
+	header := func() {
+		if !printedHeader {
+			fmt.Printf("%s %q\n", expID, newT.Title)
+			printedHeader = true
+		}
+	}
+	for _, row := range newT.Rows {
+		oldRow, ok := oldRows[rowKey(row)]
+		if !ok {
+			header()
+			fmt.Printf("  %s: row only in new report\n", rowKey(row))
+			continue
+		}
+		for i, cell := range row {
+			if i >= len(oldRow) {
+				break
+			}
+			newNs, ok1 := parseDur(cell)
+			oldNs, ok2 := parseDur(oldRow[i])
+			if !ok1 || !ok2 || oldNs == 0 {
+				continue
+			}
+			delta := (newNs - oldNs) / oldNs
+			col := ""
+			if i < len(newT.Headers) {
+				col = newT.Headers[i]
+			}
+			header()
+			mark := ""
+			if delta > threshold {
+				mark = "  WARN: regression"
+				regressions++
+			}
+			fmt.Printf("  %-40s %10s -> %-10s %+6.1f%%%s\n",
+				rowKey(row)+" ["+col+"]", oldRow[i], cell, delta*100, mark)
+		}
+	}
+	return regressions
+}
+
+// rowKey joins a row's identity cells: everything that is not a measured
+// quantity (timing, ratio, or rate). Implementation names and problem
+// sizes survive, so rows pair up even if the tables were reordered or
+// extended between runs.
+func rowKey(row []string) string {
+	var parts []string
+	for _, cell := range row {
+		if _, ok := parseDur(cell); ok {
+			continue
+		}
+		if isDerived(cell) {
+			continue
+		}
+		parts = append(parts, cell)
+	}
+	return strings.Join(parts, "/")
+}
+
+// parseDur parses the harness's human duration format back into
+// nanoseconds: "417ns", "97.9µs" (or "us"), "7.94ms", "1.234s".
+func parseDur(s string) (float64, bool) {
+	var unit float64
+	var num string
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		unit, num = 1, strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "µs"):
+		unit, num = 1e3, strings.TrimSuffix(s, "µs")
+	case strings.HasSuffix(s, "us"):
+		unit, num = 1e3, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ms"):
+		unit, num = 1e6, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s"):
+		unit, num = 1e9, strings.TrimSuffix(s, "s")
+	default:
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v * unit, true
+}
+
+// isDerived reports whether a cell is a derived quantity that should be
+// neither compared nor used as row identity: speedup ratios ("2.31x",
+// "inf") and rates ("48.38M/s", "12.3M ops/s").
+func isDerived(s string) bool {
+	if s == "inf" {
+		return true
+	}
+	if strings.HasSuffix(s, "/s") {
+		return true
+	}
+	if strings.HasSuffix(s, "x") {
+		if _, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64); err == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseDur(t *testing.T) {
+	cases := []struct {
+		in string
+		ns float64
+		ok bool
+	}{
+		{"417ns", 417, true},
+		{"97.9µs", 97_900, true},
+		{"97.9us", 97_900, true},
+		{"7.94ms", 7_940_000, true},
+		{"1.234s", 1_234_000_000, true},
+		{"list", 0, false},
+		{"10000", 0, false},
+		{"2.31x", 0, false},
+		{"", 0, false},
+		{"ms", 0, false},
+		{"-5ms", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseDur(c.in)
+		if ok != c.ok || (ok && got != c.ns) {
+			t.Errorf("parseDur(%q) = %v, %v; want %v, %v", c.in, got, ok, c.ns, c.ok)
+		}
+	}
+}
+
+func TestRowKeySkipsMeasuredCells(t *testing.T) {
+	row := []string{"list", "10000", "7.94ms", "2.31x", "12.3M ops/s"}
+	if got, want := rowKey(row), "list/10000"; got != want {
+		t.Errorf("rowKey = %q, want %q", got, want)
+	}
+}
+
+func TestDiffTableFlagsRegression(t *testing.T) {
+	oldT := table{
+		Title:   "Single level",
+		Headers: []string{"impl", "N", "time"},
+		Rows:    [][]string{{"list", "10000", "4.00ms"}},
+	}
+	newT := table{
+		Title:   "Single level",
+		Headers: []string{"impl", "N", "time"},
+		Rows:    [][]string{{"list", "10000", "6.00ms"}},
+	}
+	if got := diffTable("E20", oldT, newT, 0.25); got != 1 {
+		t.Errorf("regressions = %d, want 1", got)
+	}
+	if got := diffTable("E20", oldT, newT, 0.60); got != 0 {
+		t.Errorf("regressions with loose threshold = %d, want 0", got)
+	}
+}

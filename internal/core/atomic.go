@@ -15,7 +15,9 @@ import (
 // is the mutex on the already-satisfied path (experiment E11).
 //
 // The slow path is the shared waitlist engine over the plain sorted-list
-// index — the reference design minus the instrumentation.
+// index — the reference design minus the instrumentation. Wake-ups are
+// issued after the engine mutex is released, so a large fan-out never
+// serializes behind the incrementer.
 //
 // The zero value is a valid counter with value zero.
 type AtomicCounter struct {
@@ -32,13 +34,17 @@ func NewAtomic() *AtomicCounter { return new(AtomicCounter) }
 func (c *AtomicCounter) Increment(amount uint64) {
 	c.wl.mu.Lock()
 	v := checkedAdd(c.value.Load(), amount)
-	// Publish before broadcasting so a fast-path reader that raced past
-	// the mutex observes the new value no later than woken waiters do.
+	// Publish before waking so a fast-path reader that raced past the
+	// mutex observes the new value no later than woken waiters do.
 	c.value.Store(v)
-	for n := c.list.head; n != nil && n.level <= v; n = n.next {
-		c.wl.satisfy(n)
+	head, _ := c.list.popSatisfied(v)
+	for n := head; n != nil; n = n.next {
+		c.wl.satisfyLocked(n)
 	}
 	c.wl.mu.Unlock()
+	if head != nil {
+		c.wl.wakeBatch(head)
+	}
 }
 
 // Check implements Interface.
@@ -52,9 +58,9 @@ func (c *AtomicCounter) Check(level uint64) {
 		return
 	}
 	n := c.wl.join(&c.list, level)
-	c.wl.wait(n)
-	c.wl.leave(&c.list, n)
 	c.wl.mu.Unlock()
+	c.wl.wait(n)
+	c.wl.drain(&c.list, n)
 }
 
 // CheckContext implements Interface. The satisfied fast path is checked
@@ -80,9 +86,9 @@ func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 		return err
 	}
 	n := c.wl.join(&c.list, level)
-	err := c.wl.waitCtx(ctx, n)
-	c.wl.leave(&c.list, n)
 	c.wl.mu.Unlock()
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.drain(&c.list, n)
 	return err
 }
 
@@ -90,7 +96,7 @@ func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 func (c *AtomicCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
-	if c.wl.waiters != 0 || c.list.head != nil {
+	if c.wl.busyLocked() || c.list.head != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value.Store(0)

@@ -63,6 +63,72 @@ func BenchmarkIncrementWithWaiter(b *testing.B) {
 	}
 }
 
+// parkWaiters suspends n goroutines on c at the given level via f
+// (Check or CheckContext) and returns a wait function that blocks until
+// all have resumed. It returns once every waiter is believed parked.
+func parkWaiters(n int, f func()) (wait func()) {
+	var wg sync.WaitGroup
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			f()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	time.Sleep(2 * time.Millisecond) // started fires on the way into f; let everyone suspend
+	return wg.Wait
+}
+
+// BenchmarkWakeFanout times one Increment releasing n parked Check
+// waiters on a single level — the wake-path scalability number (E20 is
+// the experiment-shaped version). Only the Increment-to-last-resumed
+// span is timed; spawning and parking the waiters is not.
+func BenchmarkWakeFanout(b *testing.B) {
+	for _, impl := range Registry() {
+		for _, n := range []int{100, 1000, 10000} {
+			b.Run(fmt.Sprintf("%s/waiters=%d", impl, n), func(b *testing.B) {
+				c := NewImpl(impl)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					level := c.Value() + 1
+					wait := parkWaiters(n, func() { c.Check(level) })
+					b.StartTimer()
+					c.Increment(1)
+					wait()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBroadcastLatency is BenchmarkWakeFanout's cancellable twin:
+// the waiters park in CheckContext, so they sleep in a select on the
+// node's ready channel rather than on the condition variable, and the
+// wake is a single channel close instead of a broadcast.
+func BenchmarkBroadcastLatency(b *testing.B) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // keep ctx.Done() non-nil so the select path is exercised
+	for _, impl := range Registry() {
+		b.Run(string(impl), func(b *testing.B) {
+			c := NewImpl(impl)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				level := c.Value() + 1
+				wait := parkWaiters(n, func() { _ = c.CheckContext(ctx, level) })
+				b.StartTimer()
+				c.Increment(1)
+				wait()
+			}
+		})
+	}
+}
+
 // BenchmarkSimInsert measures pure waiter-registration cost on the
 // reference list via the single-threaded simulator: inserting a new
 // highest level into a list already holding `levels` distinct levels is

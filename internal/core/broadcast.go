@@ -15,6 +15,10 @@ import (
 // index: a single "round" node that every waiter joins regardless of
 // level, satisfied by every increment. A waiter whose level is still
 // unsatisfied after a wake joins the next round node and sleeps again.
+// The broadcast itself happens out of lock like every other wake, but
+// that does not rescue the design: every waiter still wakes and relocks
+// the engine mutex to re-check its level, which is the O(waiters) cost
+// the per-level designs avoid.
 //
 // The zero value is a valid counter with value zero.
 type BroadcastCounter struct {
@@ -30,11 +34,12 @@ func NewBroadcast() *BroadcastCounter { return new(BroadcastCounter) }
 // BroadcastCounter's levelIndex ignores the level entirely: every
 // acquire lands on the shared round node — that is the ablation.
 
-func (c *BroadcastCounter) acquire(w *waitlist, level uint64) *waitNode {
+func (c *BroadcastCounter) acquire(w *waitlist, level uint64) (*waitNode, bool) {
 	if c.round == nil {
-		c.round = newWaitNode(w, level)
+		c.round = newWaitNode(level)
+		return c.round, true
 	}
-	return c.round
+	return c.round, false
 }
 
 func (c *BroadcastCounter) drop(n *waitNode) {
@@ -48,11 +53,15 @@ func (c *BroadcastCounter) drop(n *waitNode) {
 func (c *BroadcastCounter) Increment(amount uint64) {
 	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
-	if n := c.round; n != nil {
+	n := c.round
+	if n != nil {
 		c.round = nil
-		c.wl.satisfy(n)
+		c.wl.satisfyLocked(n)
 	}
 	c.wl.mu.Unlock()
+	if n != nil {
+		c.wl.wakeBatch(n)
+	}
 }
 
 // Check implements Interface.
@@ -60,8 +69,10 @@ func (c *BroadcastCounter) Check(level uint64) {
 	c.wl.mu.Lock()
 	for level > c.value {
 		n := c.wl.join(c, level)
+		c.wl.mu.Unlock()
 		c.wl.wait(n)
-		c.wl.leave(c, n)
+		c.wl.drain(c, n)
+		c.wl.mu.Lock()
 		c.wakes++
 	}
 	c.wl.mu.Unlock()
@@ -78,21 +89,25 @@ func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error
 		return nil
 	}
 	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
 	for level > c.value {
 		if err := ctx.Err(); err != nil {
+			c.wl.mu.Unlock()
 			return err
 		}
 		n := c.wl.join(c, level)
+		c.wl.mu.Unlock()
 		err := c.wl.waitCtx(ctx, n)
-		c.wl.leave(c, n)
-		if n.set {
+		c.wl.drain(c, n)
+		c.wl.mu.Lock()
+		if n.set.Load() {
 			c.wakes++
 		}
 		if err != nil && level > c.value {
+			c.wl.mu.Unlock()
 			return err
 		}
 	}
+	c.wl.mu.Unlock()
 	return nil
 }
 
@@ -100,7 +115,7 @@ func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error
 func (c *BroadcastCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
-	if c.wl.waiters != 0 {
+	if c.wl.busyLocked() || c.round != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value = 0

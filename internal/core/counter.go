@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Counter is the reference monotonic-counter implementation, following
@@ -16,17 +17,25 @@ import (
 // total number of waiting goroutines.
 //
 // The blocking machinery (suspension, wake-up, cancellation) is the
-// shared waitlist engine; Counter contributes the sorted-list index and
-// the cost-model instrumentation.
+// shared waitlist engine, which keeps the wake fan-out off the engine
+// mutex: Increment unlinks the satisfied levels and broadcasts after
+// releasing the lock, and woken waiters drain with an atomic count.
+// Counter contributes the sorted-list index and the cost-model
+// instrumentation.
 //
 // The zero value is a valid counter with value zero.
 type Counter struct {
 	wl    waitlist
 	value uint64
-	list  listIndex // ascending by level; a satisfied ("set") prefix may linger while draining
+	list  listIndex // ascending by level; satisfied nodes move to the engine's draining record
 
-	// Cost-model instrumentation (section 7 claims). Updated under wl.mu.
-	stats Stats
+	// Cost-model instrumentation (section 7 claims). Updated under wl.mu,
+	// except the wake-side tallies below, which the incrementer bumps
+	// after releasing the mutex (re-locking just to count would put the
+	// engine mutex back on the wake path).
+	stats          Stats
+	wakeBroadcasts atomic.Uint64
+	wakeCloses     atomic.Uint64
 }
 
 // Stats are cumulative cost-model measurements for one counter.
@@ -36,9 +45,18 @@ type Stats struct {
 	// still draining their waiters are not counted: they no longer
 	// represent a waited-on level.
 	PeakLevels int
-	// Broadcasts counts condition-variable broadcasts issued by
-	// Increment; the paper's design issues one per satisfied level.
+	// SatisfiedLevels counts levels satisfied by increments — the
+	// paper's "one wake-up per satisfied level" cost unit.
+	SatisfiedLevels uint64
+	// Broadcasts counts condition-variable broadcasts actually issued
+	// by the wake path: a satisfied level whose waiters all sleep on
+	// ready channels (CheckContext) needs no broadcast, so Broadcasts
+	// can be less than SatisfiedLevels.
 	Broadcasts uint64
+	// ChannelCloses counts ready-channel closes issued by the wake
+	// path — the CheckContext counterpart of Broadcasts. A level with
+	// both kinds of sleeper costs one of each.
+	ChannelCloses uint64
 	// Suspends counts Check calls that actually blocked.
 	Suspends uint64
 	// ImmediateChecks counts Check calls satisfied without blocking.
@@ -52,36 +70,39 @@ type Stats struct {
 func New() *Counter { return new(Counter) }
 
 // Counter is its own levelIndex: it delegates to the sorted list and
-// layers the PeakLevels measurement onto node creation (a zero count
-// marks a node acquire just created).
+// layers the PeakLevels measurement onto node creation.
 
-func (c *Counter) acquire(w *waitlist, level uint64) *waitNode {
-	n := c.list.acquire(w, level)
-	if n.count == 0 {
-		if l := c.list.liveLen(); l > c.stats.PeakLevels {
-			c.stats.PeakLevels = l
-		}
+func (c *Counter) acquire(w *waitlist, level uint64) (*waitNode, bool) {
+	n, created := c.list.acquire(w, level)
+	if created && c.list.live > c.stats.PeakLevels {
+		c.stats.PeakLevels = c.list.live
 	}
-	return n
+	return n, created
 }
 
 func (c *Counter) drop(n *waitNode) { c.list.drop(n) }
 
-// Increment implements Interface.
+// Increment implements Interface. The satisfied prefix is unlinked into
+// the engine's draining record under the mutex (still snapshot-visible,
+// matching Figure 2 (e)-(g)), but the wake-ups themselves — channel
+// closes and broadcasts — happen after the mutex is released, so a
+// large fan-out never stalls other operations on the counter.
 func (c *Counter) Increment(amount uint64) {
 	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
 	c.stats.Increments++
-	// Mark the satisfied prefix. Nodes stay linked until their last
-	// waiter drains (matching the structure shown in Figure 2 (e)-(g));
-	// already-set nodes from a previous increment are skipped.
-	for n := c.list.head; n != nil && n.level <= c.value; n = n.next {
-		if !n.set {
-			c.wl.satisfy(n)
-			c.stats.Broadcasts++
-		}
+	head, k := c.list.popSatisfied(c.value)
+	for n := head; n != nil; n = n.next {
+		c.wl.satisfyLocked(n)
 	}
+	c.stats.SatisfiedLevels += uint64(k)
 	c.wl.mu.Unlock()
+	if head == nil {
+		return
+	}
+	closes, broadcasts := c.wl.wakeBatch(head)
+	c.wakeCloses.Add(uint64(closes))
+	c.wakeBroadcasts.Add(uint64(broadcasts))
 }
 
 // Check implements Interface.
@@ -93,9 +114,9 @@ func (c *Counter) Check(level uint64) {
 		return
 	}
 	n := c.join(level)
-	c.wl.wait(n)
-	c.leave(n)
 	c.wl.mu.Unlock()
+	c.wl.wait(n)
+	c.wl.drain(c, n)
 }
 
 // CheckContext implements Interface. An already-satisfied level wins
@@ -119,9 +140,9 @@ func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
 		return err
 	}
 	n := c.join(level)
-	err := c.wl.waitCtx(ctx, n)
-	c.leave(n)
 	c.wl.mu.Unlock()
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.drain(c, n)
 	return err
 }
 
@@ -133,10 +154,10 @@ func (c *Counter) join(level uint64) *waitNode {
 	return n
 }
 
-// leave deregisters the caller from n; the goroutine that drops a node's
-// count to zero unlinks it. Called with wl.mu held.
+// leave deregisters the caller from n with wl.mu already held — the
+// simulator's single-threaded counterpart of the engine's drain.
 func (c *Counter) leave(n *waitNode) {
-	c.wl.leave(c, n)
+	c.wl.leaveLocked(c, n)
 }
 
 // Reset implements Interface. It panics if any goroutine is suspended on
@@ -145,7 +166,7 @@ func (c *Counter) leave(n *waitNode) {
 func (c *Counter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
-	if c.wl.waiters != 0 || c.list.head != nil {
+	if c.wl.busyLocked() || c.list.head != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value = 0
@@ -161,8 +182,11 @@ func (c *Counter) Value() uint64 {
 // Stats returns a copy of the counter's cumulative cost statistics.
 func (c *Counter) Stats() Stats {
 	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	return c.stats
+	s := c.stats
+	c.wl.mu.Unlock()
+	s.Broadcasts += c.wakeBroadcasts.Load()
+	s.ChannelCloses += c.wakeCloses.Load()
+	return s
 }
 
 // Snapshot is a consistent picture of a counter's internal structure, in
@@ -202,12 +226,22 @@ func (s Snapshot) String() string {
 // Inspect returns a snapshot of the counter's structure. For tracing and
 // testing only (it is how the Figure 2 trace is reproduced); synchronization
 // decisions must never be based on it.
+//
+// Satisfied nodes still draining their waiters come from the engine's
+// draining record; their levels are at most the value, so prepending
+// them to the live list preserves the figure's ascending order.
 func (c *Counter) Inspect() Snapshot {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
 	s := Snapshot{Value: c.value}
+	for _, n := range c.wl.draining {
+		if n == nil { // already-retired slot
+			continue
+		}
+		s.Nodes = append(s.Nodes, NodeSnapshot{Level: n.level, Count: int(n.count.Load()), Set: true})
+	}
 	for n := c.list.head; n != nil; n = n.next {
-		s.Nodes = append(s.Nodes, NodeSnapshot{Level: n.level, Count: n.count, Set: n.set})
+		s.Nodes = append(s.Nodes, NodeSnapshot{Level: n.level, Count: int(n.count.Load()), Set: false})
 	}
 	return s
 }

@@ -10,7 +10,8 @@ import (
 // of distinct waited-on levels); Increment pops satisfied levels in
 // O(k log L) for k satisfied levels. It is an ablation of the section 7
 // design for the E11 experiment; the blocking machinery is the shared
-// waitlist engine.
+// waitlist engine, so popped levels are woken after the engine mutex is
+// released.
 //
 // The zero value is a valid counter with value zero.
 type HeapCounter struct {
@@ -22,34 +23,34 @@ type HeapCounter struct {
 
 // heapIndex organizes live waitNodes as a min-heap by level plus a map
 // for waiter coalescing. Satisfied nodes are popped eagerly by
-// Increment, so unlike the list index it never holds set nodes.
+// Increment, so it never holds set nodes.
 type heapIndex struct {
 	heap    []*waitNode
 	byLevel map[uint64]*waitNode // level -> live node, for coalescing waiters
 }
 
-func (h *heapIndex) acquire(w *waitlist, level uint64) *waitNode {
+func (h *heapIndex) acquire(w *waitlist, level uint64) (*waitNode, bool) {
 	if n := h.byLevel[level]; n != nil {
-		return n
+		return n, false
 	}
 	if h.byLevel == nil {
 		h.byLevel = make(map[uint64]*waitNode)
 	}
-	n := newWaitNode(w, level)
+	n := newWaitNode(level)
 	h.byLevel[level] = n
 	h.push(n)
-	return n
+	return n, true
 }
 
 // drop removes a node whose last waiter cancelled before satisfaction,
-// so an abandoned level does not accumulate. Satisfied nodes were
-// already popped by Increment and need no work here.
+// so an abandoned level does not accumulate. The byLevel entry is
+// removed only if it still points at n (a fresh node for the same level
+// may have been created since).
 func (h *heapIndex) drop(n *waitNode) {
-	if n.set {
-		return
-	}
 	h.removeNode(n)
-	delete(h.byLevel, n.level)
+	if h.byLevel[n.level] == n {
+		delete(h.byLevel, n.level)
+	}
 }
 
 func (h *heapIndex) push(n *waitNode) {
@@ -123,12 +124,12 @@ func NewHeap() *HeapCounter { return new(HeapCounter) }
 
 // HeapCounter is its own levelIndex, layering peak tracking over the heap.
 
-func (c *HeapCounter) acquire(w *waitlist, level uint64) *waitNode {
-	n := c.index.acquire(w, level)
-	if len(c.index.heap) > c.peak {
+func (c *HeapCounter) acquire(w *waitlist, level uint64) (*waitNode, bool) {
+	n, created := c.index.acquire(w, level)
+	if created && len(c.index.heap) > c.peak {
 		c.peak = len(c.index.heap)
 	}
-	return n
+	return n, created
 }
 
 func (c *HeapCounter) drop(n *waitNode) { c.index.drop(n) }
@@ -137,12 +138,24 @@ func (c *HeapCounter) drop(n *waitNode) { c.index.drop(n) }
 func (c *HeapCounter) Increment(amount uint64) {
 	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
+	// Chain the popped nodes through their (otherwise unused) next
+	// pointers, ascending, so the out-of-lock wake needs no allocation.
+	var head, tail *waitNode
 	for len(c.index.heap) > 0 && c.index.heap[0].level <= c.value {
 		n := c.index.popMin()
 		delete(c.index.byLevel, n.level)
-		c.wl.satisfy(n)
+		c.wl.satisfyLocked(n)
+		if tail == nil {
+			head = n
+		} else {
+			tail.next = n
+		}
+		tail = n
 	}
 	c.wl.mu.Unlock()
+	if head != nil {
+		c.wl.wakeBatch(head)
+	}
 }
 
 // Check implements Interface.
@@ -153,9 +166,9 @@ func (c *HeapCounter) Check(level uint64) {
 		return
 	}
 	n := c.wl.join(c, level)
-	c.wl.wait(n)
-	c.wl.leave(c, n)
 	c.wl.mu.Unlock()
+	c.wl.wait(n)
+	c.wl.drain(c, n)
 }
 
 // CheckContext implements Interface. The value is consulted before the
@@ -179,9 +192,9 @@ func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
 		return err
 	}
 	n := c.wl.join(c, level)
-	err := c.wl.waitCtx(ctx, n)
-	c.wl.leave(c, n)
 	c.wl.mu.Unlock()
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.drain(c, n)
 	return err
 }
 
@@ -189,7 +202,7 @@ func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
 func (c *HeapCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
-	if c.wl.waiters != 0 || len(c.index.heap) != 0 {
+	if c.wl.busyLocked() || len(c.index.heap) != 0 {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value = 0

@@ -52,7 +52,9 @@ type ShardedCounter struct {
 	// it so sums never tear or double-count.
 	flushSeq atomic.Uint64
 	// gate counts registered waiters. Nonzero diverts Increment onto the
-	// exact locked path. Mutated only with wl.mu held; read lock-free.
+	// exact locked path. Raised under wl.mu (before the registering
+	// waiter's flush); lowered atomically by departing waiters, so the
+	// wake fan-out never funnels through wl.mu just to drop the gate.
 	gate atomic.Int32
 
 	shards atomic.Pointer[[]shardCell] // lazily allocated, power-of-two length
@@ -130,16 +132,22 @@ func (c *ShardedCounter) Increment(amount uint64) {
 		if c.gate.Load() != 0 {
 			c.wl.mu.Lock()
 			c.flushLocked()
-			c.wakeLocked()
+			head := c.collectSatisfiedLocked()
 			c.wl.mu.Unlock()
+			if head != nil {
+				c.wl.wakeBatch(head)
+			}
 		}
 		return
 	}
 	c.wl.mu.Lock()
 	c.flushLocked()
 	c.published.Store(checkedAdd(c.published.Load(), amount))
-	c.wakeLocked()
+	head := c.collectSatisfiedLocked()
 	c.wl.mu.Unlock()
+	if head != nil {
+		c.wl.wakeBatch(head)
+	}
 }
 
 // flushLocked folds every shard residue into the published value. Called
@@ -170,13 +178,15 @@ func (c *ShardedCounter) flushLocked() {
 	c.flushSeq.Add(1)
 }
 
-// wakeLocked satisfies every list node the published value now covers.
-// Called with wl.mu held.
-func (c *ShardedCounter) wakeLocked() {
-	v := c.published.Load()
-	for n := c.list.head; n != nil && n.level <= v; n = n.next {
-		c.wl.satisfy(n)
+// collectSatisfiedLocked unlinks every list node the published value now
+// covers and marks it draining; the caller wakes the returned chain
+// after releasing wl.mu. Called with wl.mu held.
+func (c *ShardedCounter) collectSatisfiedLocked() *waitNode {
+	head, _ := c.list.popSatisfied(c.published.Load())
+	for n := head; n != nil; n = n.next {
+		c.wl.satisfyLocked(n)
 	}
+	return head
 }
 
 // sum returns published + shard residues, retrying across flushes. A
@@ -224,10 +234,10 @@ func (c *ShardedCounter) Check(level uint64) {
 		return
 	}
 	n := c.wl.join(&c.list, level)
-	c.wl.wait(n)
-	c.wl.leave(&c.list, n)
-	c.gate.Add(-1)
 	c.wl.mu.Unlock()
+	c.wl.wait(n)
+	c.wl.drain(&c.list, n)
+	c.gate.Add(-1)
 }
 
 // CheckContext implements Interface. The value is consulted before the
@@ -257,10 +267,10 @@ func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 		return err
 	}
 	n := c.wl.join(&c.list, level)
-	err := c.wl.waitCtx(ctx, n)
-	c.wl.leave(&c.list, n)
-	c.gate.Add(-1)
 	c.wl.mu.Unlock()
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.drain(&c.list, n)
+	c.gate.Add(-1)
 	return err
 }
 
@@ -268,7 +278,7 @@ func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 func (c *ShardedCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
-	if c.wl.waiters != 0 || c.list.head != nil {
+	if c.wl.busyLocked() || c.list.head != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.flushSeq.Add(1)

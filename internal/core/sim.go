@@ -6,7 +6,7 @@ package core
 // ((a) construction through (g) a thread resuming) maps to one Sim call,
 // and Snapshot exposes the resulting structure deterministically.
 //
-// Sim manipulates the same join/satisfy/leave bookkeeping the concurrent
+// Sim manipulates the same join/satisfy/drain bookkeeping the concurrent
 // Counter uses (via the shared waitlist engine), so the trace it produces
 // is the trace of the production data structure, not of a parallel model.
 type Sim struct {
@@ -30,32 +30,37 @@ func (s *Sim) Check(level uint64) bool {
 }
 
 // Increment simulates Increment(amount): the value rises and every node at
-// a satisfied level has its condition set. Suspended simulated threads do
-// not resume until Resume is called for their level, which is exactly the
-// window in which Figure 2 states (e) and (f) are observable. (Broadcasting
-// to simulated threads is harmless: none of them sleeps on the condvar.)
+// a satisfied level is marked set and moved to the draining record.
+// Suspended simulated threads do not resume until Resume is called for
+// their level, which is exactly the window in which Figure 2 states (e)
+// and (f) are observable. Simulated threads count as condition-variable
+// sleepers, so the stats record one broadcast per satisfied level — the
+// paper's cost unit — even though no real goroutine is parked.
 func (s *Sim) Increment(amount uint64) {
 	s.c.wl.mu.Lock()
 	defer s.c.wl.mu.Unlock()
 	s.c.value = checkedAdd(s.c.value, amount)
 	s.c.stats.Increments++
-	for n := s.c.list.head; n != nil && n.level <= s.c.value; n = n.next {
-		if !n.set {
-			s.c.wl.satisfy(n)
-			s.c.stats.Broadcasts++
-		}
+	head, k := s.c.list.popSatisfied(s.c.value)
+	for n := head; n != nil; {
+		next := n.next
+		n.next = nil // no wakeBatch walks this chain; sever it here
+		s.c.wl.satisfyLocked(n)
+		s.c.stats.Broadcasts++
+		n = next
 	}
+	s.c.stats.SatisfiedLevels += uint64(k)
 }
 
 // Resume simulates one woken thread at the given level finishing its Check
 // call: the node's count drops and the thread that drops it to zero
-// unlinks the node. It reports whether a thread was resumable (a set node
-// with waiters exists at level).
+// retires the node from the draining record. It reports whether a thread
+// was resumable (a satisfied node with waiters exists at level).
 func (s *Sim) Resume(level uint64) bool {
 	s.c.wl.mu.Lock()
 	defer s.c.wl.mu.Unlock()
-	for n := s.c.list.head; n != nil; n = n.next {
-		if n.level == level && n.set && n.count > 0 {
+	for _, n := range s.c.wl.draining {
+		if n != nil && n.level == level && n.count.Load() > 0 {
 			s.c.leave(n)
 			return true
 		}

@@ -16,7 +16,9 @@ const defaultSpins = 64
 // suspends on the blocking slow path if the level is still unsatisfied
 // after the spin budget. This is the classical HPC waiting strategy for
 // synchronization with short expected waits; under long waits it degrades
-// gracefully to the reference design. Part of the E11 ablation.
+// gracefully to the reference design (and inherits its out-of-lock wake
+// path: a parked SpinCounter waiter drains with an atomic count like any
+// other engine waiter). Part of the E11 ablation.
 //
 // The zero value is a valid counter with value zero.
 type SpinCounter struct {

@@ -3,65 +3,109 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the shared blocking engine behind the condition-variable
 // based implementations (Counter, AtomicCounter, HeapCounter,
-// BroadcastCounter). Each of them used to carry its own copy of the
-// join/wait/leave slow path, and each copy turned context cancellation
-// into a wake-up by spawning a watcher goroutine per CheckContext call.
-// The engine removes both: the slow path lives here once, and every
-// per-level node carries a close-on-satisfy channel alongside its
-// condition variable, so CheckContext can select on cancellation
-// directly — no goroutine is ever spawned on behalf of a caller.
+// BroadcastCounter, and ShardedCounter's slow path). Each of them used
+// to carry its own copy of the join/wait/leave slow path, and each copy
+// turned context cancellation into a wake-up by spawning a watcher
+// goroutine per CheckContext call. The engine removes both: the slow
+// path lives here once, and every per-level node carries a
+// close-on-satisfy channel alongside its condition variable, so
+// CheckContext can select on cancellation directly — no goroutine is
+// ever spawned on behalf of a caller.
 //
-// Division of labour: the engine owns the mutex, the waiter accounting,
-// and the suspend/wake protocol; the implementation owns the value and
-// the index that organizes live nodes by level (sorted list, min-heap,
-// or the degenerate wake-everyone node of the naive baseline). That
-// split is what lets the implementations keep their distinguishing
-// data-structure behaviour while sharing one cancellation-correct
-// slow path.
+// Division of labour: the engine owns the waiter accounting and the
+// suspend/wake protocol; the implementation owns the value and the index
+// that organizes live nodes by level (sorted list, min-heap, or the
+// degenerate wake-everyone node of the naive baseline). That split is
+// what lets the implementations keep their distinguishing
+// data-structure behaviour while sharing one cancellation-correct slow
+// path.
+//
+// Locking: two tiers, never nested.
+//
+//   - The engine mutex (waitlist.mu) guards the implementation's value,
+//     the index, node creation/linking, and the drain-side record of
+//     satisfied nodes. It is held only for pointer surgery — never
+//     across a broadcast or a channel close.
+//   - Each node's wake lock (waitNode.mu) guards that level's condition
+//     variable, its sleeper count, and its ready channel. Waiters on
+//     level L contend only with each other — and, since the satisfied
+//     drain is an atomic decrement, usually not at all — never with
+//     incrementers, joiners, or waiters on other levels.
+//
+// An Increment therefore does its wake-ups out of lock: it unlinks the
+// satisfied levels from the index and records them as draining under
+// the engine mutex, releases it, and only then closes ready channels
+// and broadcasts (wakeBatch). N woken waiters resume without a single
+// engine-mutex handoff; exactly one of them (the last to drain) takes
+// the engine mutex once to retire the node.
 
 // waitNode is one suspension queue: all goroutines waiting for the same
 // level. It extends the four-field structure of the paper's Figure 2
 // (level, waiter count, condition with its "set" flag, link) with a
-// ready channel that satisfy closes, giving CheckContext a selectable
-// wake-up. Check waiters sleep on cond; CheckContext waiters sleep in a
-// select on ready; satisfy wakes both.
+// ready channel that the wake path closes, giving CheckContext a
+// selectable wake-up. Check waiters sleep on cond; CheckContext waiters
+// sleep in a select on ready; wakeBatch wakes both.
 type waitNode struct {
 	level uint64
-	count int
-	set   bool
-	cond  sync.Cond
-	// ready is closed by satisfy and selected on by waitCtx. It is
+	// count is the number of registered waiters. It rises only under
+	// the engine mutex (join) and falls atomically (drain), so the
+	// engine mutex sees a stable zero: once zero with no index link,
+	// the node is retired.
+	count atomic.Int64
+	// set flips false→true exactly once, under the engine mutex, at the
+	// moment the node leaves the index for the draining record. Readers
+	// check it lock-free (Load synchronizes with the Store).
+	set atomic.Bool
+	// drained marks the node's cleanup as done; guarded by the engine
+	// mutex. It makes the last-waiter retirement idempotent when a
+	// level is abandoned, re-joined, and abandoned again concurrently.
+	drained bool
+	// drainIdx is the node's slot in the waitlist's draining record,
+	// valid while set; guarded by the engine mutex. It makes retiring a
+	// draining node O(1) even when one increment satisfied thousands of
+	// levels.
+	drainIdx int
+
+	// mu is the per-level wake lock: it guards cond, sleepers, and
+	// ready, and is the lock condvar sleepers park on (cond.L == &mu).
+	// It is never acquired with the engine mutex held.
+	mu       sync.Mutex
+	cond     sync.Cond
+	sleepers int // goroutines inside cond.Wait, so wakeBatch broadcasts only when someone listens
+	// ready is closed by wakeBatch and selected on by waitCtx. It is
 	// allocated lazily by the first cancellable waiter, so nodes used
-	// only by plain Check cost exactly the paper's four fields.
+	// only by plain Check stay close to the paper's four fields.
 	ready chan struct{}
-	next  *waitNode // used by list-shaped indexes only
+
+	next *waitNode // used by list-shaped indexes only
 }
 
 // levelIndex is the per-implementation structure organizing waitNodes by
 // level. All methods are called with the engine mutex held.
 type levelIndex interface {
-	// acquire returns the live (not-yet-satisfied) node for level,
-	// creating one with newWaitNode and indexing it if none exists. A
-	// single operation rather than lookup-then-add so list-shaped
-	// indexes find-or-splice in one walk. A returned node with count
-	// zero was created by this call (drained nodes leave the index
-	// immediately, so none other can have a zero count).
-	acquire(w *waitlist, level uint64) *waitNode
-	// drop is called when a node's last waiter leaves; the index removes
-	// whatever references to n it still holds. For a never-satisfied node
-	// this is the cancellation path reclaiming an abandoned level.
+	// acquire returns the live (not-yet-satisfied) node for level and
+	// whether this call created it, creating and indexing a new node
+	// with newWaitNode if none exists. A single operation rather than
+	// lookup-then-add so list-shaped indexes find-or-splice in one
+	// walk.
+	acquire(w *waitlist, level uint64) (n *waitNode, created bool)
+	// drop is called when a never-satisfied node's last waiter leaves;
+	// the index removes whatever references to n it still holds. This
+	// is the cancellation path reclaiming an abandoned level
+	// (satisfied nodes leave the index through the wake path instead).
 	drop(n *waitNode)
 }
 
-// newWaitNode returns a node wired to the engine's mutex, for levelIndex
-// implementations to use inside acquire.
-func newWaitNode(w *waitlist, level uint64) *waitNode {
+// newWaitNode returns a node whose condition variable sleeps on its own
+// wake lock, for levelIndex implementations to use inside acquire.
+func newWaitNode(level uint64) *waitNode {
 	n := &waitNode{level: level}
-	n.cond.L = &w.mu
+	n.cond.L = &n.mu
 	return n
 }
 
@@ -69,102 +113,199 @@ func newWaitNode(w *waitlist, level uint64) *waitNode {
 // passed into each call rather than stored so that zero-value counters
 // need no constructor.
 type waitlist struct {
-	mu      sync.Mutex
-	waiters int // total suspended goroutines, for Reset misuse detection
+	mu sync.Mutex
+	// draining holds satisfied nodes whose waiters have not all resumed
+	// yet, ascending by level (satisfied levels only grow). Guarded by
+	// mu. This is what keeps a mid-drain Figure 2 snapshot accurate
+	// after the node has left the index. Retired nodes leave nil slots
+	// (drainLive counts the rest) so retirement never shifts the slice;
+	// the record resets to empty when the last drainer leaves.
+	draining  []*waitNode
+	drainLive int
 }
 
 // join registers the caller as a waiter on the node for level, creating
 // and indexing a new node if none is live. Called with w.mu held; the
 // caller must already have established level > value.
 func (w *waitlist) join(idx levelIndex, level uint64) *waitNode {
-	n := idx.acquire(w, level)
-	n.count++
-	w.waiters++
+	n, _ := idx.acquire(w, level)
+	n.count.Add(1)
 	return n
 }
 
-// leave deregisters the caller from n; the goroutine that drops a node's
-// count to zero hands it back to the index (the paper's "deallocates the
-// node" — here the garbage collector reclaims it once unindexed). Called
-// with w.mu held.
-func (w *waitlist) leave(idx levelIndex, n *waitNode) {
-	n.count--
-	w.waiters--
-	if n.count == 0 {
-		idx.drop(n)
-	}
+// satisfyLocked marks n satisfied and records it as draining. Called
+// with w.mu held by the implementation's Increment, which must already
+// have unlinked n from its index; the actual wake-up is wakeBatch,
+// after w.mu is released.
+func (w *waitlist) satisfyLocked(n *waitNode) {
+	n.set.Store(true)
+	n.drainIdx = len(w.draining)
+	w.draining = append(w.draining, n)
+	w.drainLive++
 }
 
-// satisfy marks n satisfied and wakes every waiter parked on it, both
-// condvar sleepers and channel selecters. Idempotent. Called with w.mu
-// held by the implementation's Increment.
-func (w *waitlist) satisfy(n *waitNode) {
-	if n.set {
-		return
+// wakeBatch wakes every waiter parked on the batch — a chain of
+// satisfied nodes linked through their next pointers, which the caller
+// owns exclusively now that the nodes have left the index. Channel
+// selecters wake by closing ready, condvar sleepers by broadcasting;
+// the return values report how many closes and broadcasts were
+// actually issued. Called WITHOUT w.mu: this is the point of the
+// design. The caller (one incrementer) holds only each node's wake
+// lock, briefly, one node at a time, so a slow scheduler dispatching
+// thousands of wake-ups never stalls joiners, other incrementers, or
+// waiters on other levels. The chain links are severed on the way
+// through.
+func (w *waitlist) wakeBatch(head *waitNode) (closes, broadcasts int) {
+	for n := head; n != nil; {
+		next := n.next
+		n.next = nil
+		n.mu.Lock()
+		if n.ready != nil {
+			close(n.ready)
+			closes++
+		}
+		if n.sleepers > 0 {
+			n.cond.Broadcast()
+			broadcasts++
+		}
+		n.mu.Unlock()
+		n = next
 	}
-	n.set = true
-	if n.ready != nil {
-		close(n.ready)
-	}
-	n.cond.Broadcast()
+	return closes, broadcasts
 }
 
-// wait blocks on the condition variable until n is satisfied — the plain
-// Check slow path. Called with w.mu held; returns with w.mu held.
+// wait blocks on the node's condition variable until it is satisfied —
+// the plain Check slow path. Called without any lock held (the caller
+// released w.mu after join); returns with no lock held.
 func (w *waitlist) wait(n *waitNode) {
-	for !n.set {
+	n.mu.Lock()
+	for !n.set.Load() {
+		n.sleepers++
 		n.cond.Wait()
+		n.sleepers--
 	}
+	n.mu.Unlock()
 }
 
 // waitCtx blocks until n is satisfied or ctx is cancelled, whichever
 // comes first, by selecting on the node's ready channel — no watcher
-// goroutine. Called with w.mu held; returns with w.mu held. If the node
-// was satisfied by the time the lock is reacquired, waitCtx reports nil
-// even when the select woke on cancellation: a satisfied level beats a
-// cancelled context.
+// goroutine. Called without any lock held; returns with no lock held.
+// If the node is satisfied by the time the cancellation is observed,
+// waitCtx reports nil: a satisfied level beats a cancelled context.
 func (w *waitlist) waitCtx(ctx context.Context, n *waitNode) error {
+	n.mu.Lock()
+	if n.set.Load() {
+		n.mu.Unlock()
+		return nil
+	}
 	ready := n.ready
 	if ready == nil {
 		ready = make(chan struct{})
 		n.ready = ready
 	}
-	w.mu.Unlock()
-	var err error
+	n.mu.Unlock()
 	select {
 	case <-ready:
+		return nil
 	case <-ctx.Done():
-		err = ctx.Err()
+		if n.set.Load() {
+			return nil
+		}
+		return ctx.Err()
+	}
+}
+
+// drain deregisters the caller from n after wait/waitCtx returned. The
+// common case is one atomic decrement and no lock at all; only the
+// goroutine that drops the count to zero takes the engine mutex, once,
+// to retire the node (the paper's "deallocates the node" — here the
+// garbage collector reclaims it once unreferenced). Called with no lock
+// held.
+func (w *waitlist) drain(idx levelIndex, n *waitNode) {
+	if n.count.Add(-1) != 0 {
+		return
 	}
 	w.mu.Lock()
-	if n.set {
-		return nil
+	w.cleanupLocked(idx, n)
+	w.mu.Unlock()
+}
+
+// leaveLocked is drain for callers already holding w.mu — the
+// single-threaded simulator and its benchmarks.
+func (w *waitlist) leaveLocked(idx levelIndex, n *waitNode) {
+	if n.count.Add(-1) == 0 {
+		w.cleanupLocked(idx, n)
 	}
-	return err
+}
+
+// cleanupLocked retires a node whose count reached zero: a satisfied
+// node leaves the draining record, an abandoned one leaves the index.
+// Called with w.mu held. The count is re-checked under the mutex —
+// joins also happen under it, so a concurrent re-join of the level
+// cancels the retirement (that joiner's own drain will retire it), and
+// the drained flag makes the retirement idempotent.
+func (w *waitlist) cleanupLocked(idx levelIndex, n *waitNode) {
+	if n.drained || n.count.Load() != 0 {
+		return
+	}
+	n.drained = true
+	if n.set.Load() {
+		w.removeDraining(n)
+	} else {
+		idx.drop(n)
+	}
+}
+
+// removeDraining deletes n from the draining record in O(1): its slot
+// goes nil so the other nodes keep their recorded positions, and the
+// slice resets once every node has retired. (An ordered splice here
+// would turn one increment satisfying k levels into O(k^2) memmoves
+// as the levels retire.) Called with w.mu held.
+func (w *waitlist) removeDraining(n *waitNode) {
+	w.draining[n.drainIdx] = nil
+	w.drainLive--
+	if w.drainLive == 0 {
+		w.draining = w.draining[:0]
+	}
+}
+
+// busyLocked reports whether any satisfied node is still draining
+// waiters — the engine half of every implementation's Reset misuse
+// check. A registered waiter is always represented by a node with a
+// nonzero count in either the index or the draining record, so pairing
+// this with the implementation's own index-emptiness check covers all
+// waiters without a dedicated counter on the drain fast path. Called
+// with w.mu held.
+func (w *waitlist) busyLocked() bool {
+	return w.drainLive != 0
 }
 
 // listIndex is the sorted singly-linked list of the paper's section 7,
-// shared by Counter and AtomicCounter: ascending by level, with a
-// satisfied ("set") prefix that lingers while its waiters drain.
+// shared by Counter, AtomicCounter, and ShardedCounter: ascending by
+// level, never-satisfied nodes only — an increment moves its satisfied
+// prefix to the engine's draining record via popSatisfied, so the list
+// is exactly the set of live waited-on levels.
 type listIndex struct {
 	head *waitNode
+	// live mirrors the list length so PeakLevels tracking is O(1)
+	// instead of a full rescan per insertion.
+	live int
 }
 
-// acquire finds or splices in the node for level with a single walk. A
-// satisfied prefix may be present, but its levels are at most the value,
-// which is below any level being joined, so ordering is preserved.
-func (l *listIndex) acquire(w *waitlist, level uint64) *waitNode {
+// acquire finds or splices in the node for level with a single walk.
+func (l *listIndex) acquire(w *waitlist, level uint64) (*waitNode, bool) {
 	p := &l.head
 	for *p != nil && (*p).level < level {
 		p = &(*p).next
 	}
-	if n := *p; n != nil && n.level == level && !n.set {
-		return n
+	if n := *p; n != nil && n.level == level {
+		return n, false
 	}
-	n := newWaitNode(w, level)
+	n := newWaitNode(level)
 	n.next = *p
 	*p = n
-	return n
+	l.live++
+	return n, true
 }
 
 func (l *listIndex) drop(n *waitNode) {
@@ -172,22 +313,32 @@ func (l *listIndex) drop(n *waitNode) {
 		if *p == n {
 			*p = n.next
 			n.next = nil
+			l.live--
 			return
 		}
 	}
 }
 
-// liveLen counts the not-yet-satisfied nodes — the "distinct waited-on
-// levels" of the section 7 cost model. The draining satisfied prefix is
-// excluded: those levels are no longer being waited on.
-func (l *listIndex) liveLen() int {
-	live := 0
-	for n := l.head; n != nil; n = n.next {
-		if !n.set {
-			live++
-		}
+// popSatisfied unlinks the prefix of nodes whose level the new value
+// covers — the increment's satisfied batch — and returns it as a chain
+// still linked in ascending level order, plus its length. No allocation:
+// the prefix is cut off the list in place and handed to the caller
+// (ultimately wakeBatch) as-is. Called with the engine mutex held.
+func (l *listIndex) popSatisfied(value uint64) (head *waitNode, k int) {
+	if l.head == nil || l.head.level > value {
+		return nil, 0
 	}
-	return live
+	head = l.head
+	last := head
+	k = 1
+	for last.next != nil && last.next.level <= value {
+		last = last.next
+		k++
+	}
+	l.head = last.next
+	last.next = nil
+	l.live -= k
+	return head, k
 }
 
 var _ levelIndex = (*listIndex)(nil)

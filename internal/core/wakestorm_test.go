@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWakeStormExactResumes is the out-of-lock wake path's selectivity
+// guard: with a large crowd parked on one level and a second crowd on
+// strictly higher levels, a single big Increment must resume exactly the
+// first crowd — every one of them, none of the others — and the storm
+// must leave no goroutine behind. Half the waiters park through Check
+// (condvar path) and half through CheckContext with a live context
+// (ready-channel path), so one batched broadcast exercises both wake
+// mechanisms at once. Runs against every registered implementation;
+// under -race this doubles as the happens-before proof for the
+// release-then-wake protocol.
+func TestWakeStormExactResumes(t *testing.T) {
+	const (
+		low      = 96 // waiters at the satisfied level
+		high     = 48 // waiters spread across higher levels
+		lowLevel = 100
+	)
+	baseline := runtime.NumGoroutine()
+	for _, impl := range Registry() {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			var resumedLow, resumedHigh atomic.Int64
+			var wgLow, wgHigh sync.WaitGroup
+			started := make(chan struct{}, low+high)
+
+			park := func(level uint64, useCtx bool, resumed *atomic.Int64) {
+				started <- struct{}{}
+				if useCtx {
+					if err := c.CheckContext(ctx, level); err != nil {
+						t.Errorf("CheckContext(%d) = %v, want nil", level, err)
+					}
+				} else {
+					c.Check(level)
+				}
+				resumed.Add(1)
+			}
+			for i := 0; i < low; i++ {
+				i := i
+				wgLow.Add(1)
+				go func() { defer wgLow.Done(); park(lowLevel, i%2 == 0, &resumedLow) }()
+			}
+			for i := 0; i < high; i++ {
+				i := i
+				wgHigh.Add(1)
+				level := uint64(lowLevel + 1 + i%7) // a few distinct higher levels
+				go func() { defer wgHigh.Done(); park(level, i%2 == 0, &resumedHigh) }()
+			}
+			for i := 0; i < low+high; i++ {
+				<-started
+			}
+			time.Sleep(20 * time.Millisecond) // let the crowd actually suspend
+
+			c.Increment(lowLevel) // one increment; satisfies the low level exactly
+			wgLow.Wait()
+			if got := resumedLow.Load(); got != low {
+				t.Fatalf("low-level resumes = %d, want %d", got, low)
+			}
+			// The higher levels must still be parked: none of their levels
+			// is satisfied, no matter how the implementation broadcast.
+			time.Sleep(20 * time.Millisecond)
+			if got := resumedHigh.Load(); got != 0 {
+				t.Fatalf("%d higher-level waiters resumed below their level", got)
+			}
+			c.Increment(8) // covers lowLevel+1..lowLevel+7
+			wgHigh.Wait()
+			if got := resumedHigh.Load(); got != high {
+				t.Fatalf("high-level resumes = %d, want %d", got, high)
+			}
+			if got, want := c.Value(), uint64(lowLevel+8); got != want {
+				t.Fatalf("Value() = %d, want %d", got, want)
+			}
+		})
+	}
+	// The storms spawned low+high goroutines per implementation; all of
+	// them must be gone (no watcher goroutines, no stuck waiters).
+	deadline := time.After(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestInspectShowsDrainingSatisfiedNodes pins the Figure 2 (e)-(g)
+// shape on the reference counter after the out-of-lock wake refactor:
+// a satisfied node leaves the index immediately, but it must stay
+// visible in snapshots — set, with its live count — until the last of
+// its waiters has resumed. The simulator holds woken threads between
+// Increment and Resume, which is exactly the window in which the
+// draining record is observable.
+func TestInspectShowsDrainingSatisfiedNodes(t *testing.T) {
+	s := NewSim()
+	s.Check(5)
+	s.Check(5)
+	s.Check(9)
+
+	s.Increment(7)
+	// (e) Level 5 is satisfied and unlinked from the live list, but both
+	// of its waiters are still draining: the snapshot must show it set
+	// with count=2, ahead of the still-live level-9 node.
+	if got, want := s.Snapshot().String(),
+		"value=7 waiting=[{level=5 count=2 set} {level=9 count=1 not-set}]"; got != want {
+		t.Fatalf("after Increment:\n got %s\nwant %s", got, want)
+	}
+
+	if !s.Resume(5) {
+		t.Fatal("Resume(5) found no draining waiter")
+	}
+	// (f) One waiter resumed; the node drains with count=1, still visible.
+	if got, want := s.Snapshot().String(),
+		"value=7 waiting=[{level=5 count=1 set} {level=9 count=1 not-set}]"; got != want {
+		t.Fatalf("after first Resume:\n got %s\nwant %s", got, want)
+	}
+
+	if !s.Resume(5) {
+		t.Fatal("second Resume(5) found no draining waiter")
+	}
+	// (g) The last waiter retired the node: it vanishes from snapshots.
+	if got, want := s.Snapshot().String(),
+		"value=7 waiting=[{level=9 count=1 not-set}]"; got != want {
+		t.Fatalf("after last Resume:\n got %s\nwant %s", got, want)
+	}
+	if s.Resume(5) {
+		t.Fatal("Resume(5) succeeded with no waiters left at level 5")
+	}
+
+	// No thread ever waits at a level twice in this trace, so the level-9
+	// waiter drains the same way once satisfied.
+	s.Increment(2)
+	if got, want := s.Snapshot().String(),
+		"value=9 waiting=[{level=9 count=1 set}]"; got != want {
+		t.Fatalf("after second Increment:\n got %s\nwant %s", got, want)
+	}
+	if !s.Resume(9) {
+		t.Fatal("Resume(9) found no draining waiter")
+	}
+	if got, want := s.Snapshot().String(), "value=9 waiting=[]"; got != want {
+		t.Fatalf("after final Resume:\n got %s\nwant %s", got, want)
+	}
+}

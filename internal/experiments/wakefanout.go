@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"monotonic/internal/core"
+	"monotonic/internal/harness"
+)
+
+// wakeFanout parks n Check waiters on c — all on one level, or spread
+// over n distinct levels — then times the wake fan-out: from just before
+// the single satisfying Increment until the last waiter has resumed.
+// Spawn and park costs are excluded from the timed section.
+func wakeFanout(impl core.Impl, n int, spread bool) time.Duration {
+	c := core.NewImpl(impl)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		lv := uint64(1)
+		if spread {
+			lv = uint64(i + 1)
+		}
+		wg.Add(1)
+		go func(lv uint64) {
+			defer wg.Done()
+			started <- struct{}{}
+			c.Check(lv)
+		}(lv)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	settle(n)
+	amount := uint64(1)
+	if spread {
+		amount = uint64(n)
+	}
+	start := time.Now()
+	c.Increment(amount)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// settle sleeps long enough for n just-started waiters to actually
+// suspend ("started" fires on the way into Check), so the timed section
+// measures wake-up, not arrival.
+func settle(n int) {
+	d := 20*time.Millisecond + time.Duration(n/100)*time.Millisecond
+	if d > 300*time.Millisecond {
+		d = 300 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// measureFanout repeats wakeFanout after one discarded warm-up run.
+func measureFanout(impl core.Impl, n, reps int, spread bool) harness.Timing {
+	wakeFanout(impl, n, spread)
+	t := harness.Timing{Durations: make([]time.Duration, 0, reps)}
+	for i := 0; i < reps; i++ {
+		t.Durations = append(t.Durations, wakeFanout(impl, n, spread))
+	}
+	return t
+}
+
+// E20: wake fan-out latency — the read side of the scalability story.
+// E19 made the increment cheap while nobody waits; E20 measures the
+// moment everybody is waiting: one Increment must resume N suspended
+// goroutines, and the question is whether the time to the last wake-up
+// scales with N alone or convoys on the engine mutex.
+func init() {
+	register(Experiment{
+		ID:    "E20",
+		Title: "Wake fan-out: time from Increment to last-of-N waiters resumed",
+		Paper: "Section 7 prices an Increment at one wake per satisfied level, independent of how " +
+			"many goroutines wait on it. The claim is about signalling work inside the critical " +
+			"section; it says nothing about the resume convoy afterwards. This experiment measures " +
+			"the full fan-out — Increment to last-of-N resumed — for N waiters on a single level " +
+			"and for N waiters spread over N distinct levels.",
+		Notes: "Out-of-lock batched wake-ups with per-level wake locks keep the engine mutex out " +
+			"of the resume path: the incrementer unlinks the satisfied levels and releases the " +
+			"mutex before broadcasting, and woken waiters drain with an atomic count instead of " +
+			"reacquiring the engine lock, so time-to-last-woken grows with scheduler dispatch " +
+			"cost, not with N serialized mutex handoffs. Spread-level rows stop at 10^4: " +
+			"registering 10^5 distinct levels costs O(N^2) list insertion on the list-index " +
+			"designs, which is E11's story, not this one.",
+		Run: func(cfg Config) []*harness.Table {
+			singleNs := []int{1, 100, 1000, 10000, 100000}
+			spreadNs := []int{1, 100, 1000, 10000}
+			reps := 5
+			if cfg.Quick {
+				singleNs = []int{1, 100, 1000}
+				spreadNs = []int{1, 100, 1000}
+				reps = 3
+			}
+
+			headers := func(ns []int) []string {
+				h := []string{"implementation"}
+				for _, n := range ns {
+					h = append(h, fmt.Sprintf("N=%d", n))
+				}
+				return h
+			}
+
+			single := harness.NewTable(
+				"Single level: N waiters on one level, one Increment, median time to last resume (GOMAXPROCS="+
+					harness.I(runtime.GOMAXPROCS(0))+")",
+				headers(singleNs)...)
+			for _, impl := range core.Registry() {
+				row := []string{string(impl)}
+				for _, n := range singleNs {
+					row = append(row, harness.Dur(measureFanout(impl, n, reps, false).Median()))
+				}
+				single.Add(row...)
+			}
+
+			spread := harness.NewTable(
+				"Spread levels: N waiters on N distinct levels, one Increment(N), median time to last resume",
+				headers(spreadNs)...)
+			for _, impl := range core.Registry() {
+				row := []string{string(impl)}
+				for _, n := range spreadNs {
+					row = append(row, harness.Dur(measureFanout(impl, n, reps, true).Median()))
+				}
+				spread.Add(row...)
+			}
+			return []*harness.Table{single, spread}
+		},
+	})
+}
