@@ -97,7 +97,7 @@ func load(path string) (*report, error) {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 	if r.Schema != "counterbench/v1" {
-		return nil, fmt.Errorf("%s: unknown schema %q", path, r.Schema)
+		return nil, fmt.Errorf("%s: schema %q does not match %q — the report was written by an incompatible counterbench version and cannot be compared", path, r.Schema, "counterbench/v1")
 	}
 	return &r, nil
 }
@@ -107,6 +107,19 @@ func load(path string) (*report, error) {
 // threshold.
 func diff(oldRep, newRep *report, threshold float64) int {
 	oldTables := index(oldRep)
+	shared := 0
+	for _, e := range newRep.Experiments {
+		for _, nt := range e.Tables {
+			if _, ok := oldTables[e.ID+"\x00"+nt.Title]; ok {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		fmt.Printf("no shared benchmarks: old report has %s, new report has %s — nothing to compare\n",
+			expIDs(oldRep), expIDs(newRep))
+		return 0
+	}
 	regressions := 0
 	for _, e := range newRep.Experiments {
 		for _, nt := range e.Tables {
@@ -133,6 +146,19 @@ func diff(oldRep, newRep *report, threshold float64) int {
 		}
 	}
 	return regressions
+}
+
+// expIDs summarizes a report as its experiment ID list, for the
+// no-shared-benchmarks message.
+func expIDs(r *report) string {
+	if len(r.Experiments) == 0 {
+		return "no experiments"
+	}
+	ids := make([]string, 0, len(r.Experiments))
+	for _, e := range r.Experiments {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ",")
 }
 
 func index(r *report) map[string]table {

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseDur(t *testing.T) {
 	cases := []struct {
@@ -32,6 +40,71 @@ func TestRowKeySkipsMeasuredCells(t *testing.T) {
 	row := []string{"list", "10000", "7.94ms", "2.31x", "12.3M ops/s"}
 	if got, want := rowKey(row), "list/10000"; got != want {
 		t.Errorf("rowKey = %q, want %q", got, want)
+	}
+}
+
+func TestLoadRejectsSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	buf, err := json.Marshal(report{Schema: "counterbench/v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = load(path)
+	if err == nil {
+		t.Fatal("load accepted a report with a mismatched schema version")
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "\n") {
+		t.Errorf("schema-mismatch message spans multiple lines: %q", msg)
+	}
+	if !strings.Contains(msg, "counterbench/v2") || !strings.Contains(msg, "counterbench/v1") {
+		t.Errorf("message %q does not name both the found and the expected schema", msg)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestDiffNoSharedBenchmarks(t *testing.T) {
+	oldRep := &report{Schema: "counterbench/v1", Experiments: []experiment{
+		{ID: "E10", Tables: []table{{Title: "Reference", Rows: [][]string{{"list", "4.00ms"}}}}},
+		{ID: "E12", Tables: []table{{Title: "Baseline", Rows: [][]string{{"bcast", "9.00ms"}}}}},
+	}}
+	newRep := &report{Schema: "counterbench/v1", Experiments: []experiment{
+		{ID: "E21", Tables: []table{{Title: "Overhead", Rows: [][]string{{"list", "25ns"}}}}},
+	}}
+	var regressions int
+	out := captureStdout(t, func() { regressions = diff(oldRep, newRep, 0.25) })
+	if regressions != 0 {
+		t.Errorf("regressions = %d, want 0 with nothing shared", regressions)
+	}
+	out = strings.TrimRight(out, "\n")
+	if strings.Contains(out, "\n") {
+		t.Errorf("no-shared-benchmarks output is not a single line:\n%s", out)
+	}
+	if !strings.Contains(out, "no shared benchmarks") ||
+		!strings.Contains(out, "E10,E12") || !strings.Contains(out, "E21") {
+		t.Errorf("output %q does not announce the disjoint experiment sets", out)
 	}
 }
 

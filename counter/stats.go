@@ -1,0 +1,112 @@
+package counter
+
+import (
+	"expvar"
+
+	"monotonic/internal/core"
+)
+
+// Stats are a counter's cumulative cost-model measurements — the paper's
+// section 7 claims ("storage and time proportional to distinct waited-on
+// levels, not waiters") made observable in production. Counters only
+// ever grow; Reset does not clear them, so they can be exported as
+// monotone metrics.
+//
+// In any snapshot, Broadcasts <= SatisfiedLevels and ChannelCloses <=
+// SatisfiedLevels: the wake tallies lag the satisfied-level count during
+// a wake storm and catch up once the storm's wake-ups finish. See
+// docs/PATTERNS.md ("Observing a counter in production") for how to read
+// each field against the cost model.
+type Stats struct {
+	// PeakLevels is the maximum number of distinct not-yet-satisfied
+	// levels ever waited on at once — the paper's storage bound.
+	PeakLevels int
+	// SatisfiedLevels counts levels satisfied by increments — the
+	// paper's "one wake-up per satisfied level" cost unit.
+	SatisfiedLevels uint64
+	// Broadcasts counts condition-variable broadcasts issued by the wake
+	// path (levels whose waiters all parked cancellably need none).
+	Broadcasts uint64
+	// ChannelCloses counts ready-channel closes issued by the wake path —
+	// the cancellable-wait counterpart of Broadcasts.
+	ChannelCloses uint64
+	// Suspends counts Check/CheckContext calls that actually blocked.
+	Suspends uint64
+	// ImmediateChecks counts Check/CheckContext calls satisfied without
+	// blocking.
+	ImmediateChecks uint64
+	// Increments counts value-changing Increment calls (Increment(0) is
+	// a no-op and is not counted).
+	Increments uint64
+	// FastPathIncrements counts increments absorbed by Sharded's
+	// lock-free striped fast path; always included in Increments. Zero
+	// for Counter.
+	FastPathIncrements uint64
+	// Flushes counts Sharded's stripe-flush passes. Zero for Counter.
+	Flushes uint64
+}
+
+func statsFromCore(s core.Stats) Stats {
+	return Stats{
+		PeakLevels:         s.PeakLevels,
+		SatisfiedLevels:    s.SatisfiedLevels,
+		Broadcasts:         s.Broadcasts,
+		ChannelCloses:      s.ChannelCloses,
+		Suspends:           s.Suspends,
+		ImmediateChecks:    s.ImmediateChecks,
+		Increments:         s.Increments,
+		FastPathIncrements: s.FastPathIncrements,
+		Flushes:            s.Flushes,
+	}
+}
+
+// StatsProvider is satisfied by both counter types (and anything else
+// that reports counter stats); Publish exports any provider.
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// Stats returns the counter's cumulative cost statistics.
+func (c *Counter) Stats() Stats { return statsFromCore(c.c.Stats()) }
+
+// Stats returns the counter's cumulative cost statistics.
+func (c *Sharded) Stats() Stats { return statsFromCore(c.c.Stats()) }
+
+// Event is one probe observation; see SetProbe.
+type Event = core.Event
+
+// EventKind discriminates probe events.
+type EventKind = core.EventKind
+
+// The probe event kinds.
+const (
+	// EventIncrement fires once per value-changing Increment, after the
+	// counter's locks are released; Event.Level carries the amount.
+	EventIncrement = core.EventIncrement
+	// EventSuspend fires when a waiter is about to park; Event.Level is
+	// the level waited on.
+	EventSuspend = core.EventSuspend
+	// EventWake fires once per satisfied level as its waiters are woken;
+	// Event.Level is the level.
+	EventWake = core.EventWake
+)
+
+// SetProbe installs f as the counter's event hook: it observes
+// increment/suspend/wake events until replaced, and nil disables it.
+// When disabled the hook costs one atomic load per operation; f is never
+// invoked while the counter's locks are held, so it may itself call
+// Stats. Probes are for tracing and metrics — synchronization decisions
+// must never be based on them.
+func (c *Counter) SetProbe(f func(Event)) { c.c.SetProbe(f) }
+
+// SetProbe installs f as the counter's event hook; see Counter.SetProbe.
+func (c *Sharded) SetProbe(f func(Event)) { c.c.SetProbe(f) }
+
+// Publish registers p's stats with package expvar under the given name,
+// so they appear (live, as a JSON object) on the standard /debug/vars
+// endpoint. Each read of the variable takes a fresh snapshot. Like
+// expvar.Publish, it panics if name is already registered; call it once
+// per counter, at setup.
+func Publish(name string, p StatsProvider) {
+	expvar.Publish(name, expvar.Func(func() any { return p.Stats() }))
+}

@@ -1,0 +1,113 @@
+package counter_test
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+)
+
+func waitForSuspends(t *testing.T, p counter.StatsProvider, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Suspends < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d suspends; stats %+v", want, p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCounterStats(t *testing.T) {
+	var c counter.Counter
+	c.Increment(5)
+	c.Check(3)
+	done := make(chan struct{})
+	go func() { c.Check(9); close(done) }()
+	waitForSuspends(t, &c, 1)
+	c.Increment(4)
+	<-done
+
+	s := c.Stats()
+	if s.Increments != 2 || s.ImmediateChecks != 1 || s.Suspends != 1 {
+		t.Fatalf("stats = %+v, want Increments=2 ImmediateChecks=1 Suspends=1", s)
+	}
+	if s.SatisfiedLevels != 1 || s.PeakLevels != 1 {
+		t.Fatalf("stats = %+v, want SatisfiedLevels=1 PeakLevels=1", s)
+	}
+	if s.Broadcasts > s.SatisfiedLevels || s.ChannelCloses > s.SatisfiedLevels {
+		t.Fatalf("wake tallies exceed satisfied levels: %+v", s)
+	}
+
+	c.Reset()
+	if got := c.Stats(); got != s {
+		t.Fatalf("Reset changed stats: before %+v, after %+v", s, got)
+	}
+}
+
+func TestShardedStats(t *testing.T) {
+	var c counter.Sharded
+	for i := 0; i < 10; i++ {
+		c.Increment(1)
+	}
+	s := c.Stats()
+	if s.Increments != 10 || s.FastPathIncrements != 10 {
+		t.Fatalf("stats = %+v, want Increments=10 FastPathIncrements=10", s)
+	}
+	done := make(chan struct{})
+	go func() { c.Check(11); close(done) }()
+	waitForSuspends(t, &c, 1)
+	c.Increment(1)
+	<-done
+	s = c.Stats()
+	if s.Increments != 11 || s.Flushes == 0 || s.Suspends != 1 {
+		t.Fatalf("stats = %+v, want Increments=11 Flushes>0 Suspends=1", s)
+	}
+}
+
+func TestSetProbe(t *testing.T) {
+	var c counter.Counter
+	var mu sync.Mutex
+	var got []counter.Event
+	c.SetProbe(func(e counter.Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	c.Increment(2)
+	c.SetProbe(nil)
+	c.Increment(3)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != (counter.Event{Kind: counter.EventIncrement, Level: 2}) {
+		t.Fatalf("probe events = %+v, want one EventIncrement with level 2", got)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	var c counter.Counter
+	c.Increment(7)
+	counter.Publish("test_counter_stats", &c)
+	v := expvar.Get("test_counter_stats")
+	if v == nil {
+		t.Fatal("Publish did not register the variable")
+	}
+	var s counter.Stats
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("exported stats are not JSON: %v\n%s", err, v.String())
+	}
+	if s.Increments != 1 {
+		t.Fatalf("exported Increments = %d, want 1", s.Increments)
+	}
+	// The export is live: a later read reflects later operations.
+	c.Increment(1)
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Increments != 2 {
+		t.Fatalf("exported Increments after second read = %d, want 2", s.Increments)
+	}
+}

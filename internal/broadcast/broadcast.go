@@ -121,8 +121,8 @@ func Run(cfg Config) Result {
 	sthreads.Block(cfg.Mode, fns...)
 
 	res := Result{ReaderSums: sums}
-	if c, ok := dataCount.(*core.Counter); ok {
-		res.Stats = c.Stats()
+	if p, ok := dataCount.(core.StatsProvider); ok {
+		res.Stats = p.Stats()
 	}
 	return res
 }

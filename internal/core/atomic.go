@@ -15,9 +15,10 @@ import (
 // is the mutex on the already-satisfied path (experiment E11).
 //
 // The slow path is the shared waitlist engine over the plain sorted-list
-// index — the reference design minus the instrumentation. Wake-ups are
-// issued after the engine mutex is released, so a large fan-out never
-// serializes behind the incrementer.
+// index. Wake-ups are issued after the engine mutex is released, so a
+// large fan-out never serializes behind the incrementer. Fast-path
+// satisfied checks are tallied on a striped counter (stripedUint64) so
+// concurrent readers do not serialize on one stats cache line.
 //
 // The zero value is a valid counter with value zero.
 type AtomicCounter struct {
@@ -25,23 +26,32 @@ type AtomicCounter struct {
 
 	wl   waitlist
 	list listIndex
+	// fastChecks counts satisfied lock-free checks; folded into
+	// Stats.ImmediateChecks alongside the engine's locked tally.
+	fastChecks stripedUint64
 }
 
 // NewAtomic returns an AtomicCounter with value zero.
 func NewAtomic() *AtomicCounter { return new(AtomicCounter) }
 
-// Increment implements Interface.
+// Increment implements Interface. Increment(0) is a no-op and returns
+// before touching the lock.
 func (c *AtomicCounter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
 	c.wl.mu.Lock()
 	v := checkedAdd(c.value.Load(), amount)
 	// Publish before waking so a fast-path reader that raced past the
 	// mutex observes the new value no later than woken waiters do.
 	c.value.Store(v)
+	c.wl.stats.increments++
 	head, _ := c.list.popSatisfied(v)
 	for n := head; n != nil; n = n.next {
 		c.wl.satisfyLocked(n)
 	}
 	c.wl.mu.Unlock()
+	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
@@ -50,10 +60,12 @@ func (c *AtomicCounter) Increment(amount uint64) {
 // Check implements Interface.
 func (c *AtomicCounter) Check(level uint64) {
 	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
 		return // fast path: already satisfied, no lock
 	}
 	c.wl.mu.Lock()
 	if level <= c.value.Load() {
+		c.wl.stats.immediateChecks++
 		c.wl.mu.Unlock()
 		return
 	}
@@ -69,6 +81,7 @@ func (c *AtomicCounter) Check(level uint64) {
 // ready channel, spawning no goroutine.
 func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
 		return nil
 	}
 	done := ctx.Done()
@@ -78,6 +91,7 @@ func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 	}
 	c.wl.mu.Lock()
 	if level <= c.value.Load() {
+		c.wl.stats.immediateChecks++
 		c.wl.mu.Unlock()
 		return nil
 	}
@@ -92,7 +106,8 @@ func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 	return err
 }
 
-// Reset implements Interface.
+// Reset implements Interface. Stats are cumulative and survive the
+// reset.
 func (c *AtomicCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
@@ -105,4 +120,21 @@ func (c *AtomicCounter) Reset() {
 // Value implements Interface. For inspection and testing only.
 func (c *AtomicCounter) Value() uint64 { return c.value.Load() }
 
+// Stats implements StatsProvider: the engine's collector plus the
+// lock-free satisfied-check tally.
+func (c *AtomicCounter) Stats() Stats {
+	s := c.wl.readStats()
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// SetProbe implements ProbeSetter. Fast-path satisfied checks emit no
+// event (that path exists to touch nothing shared); increments,
+// suspends, and wakes are observed through the engine.
+func (c *AtomicCounter) SetProbe(f func(Event)) {
+	c.wl.SetProbe(f)
+}
+
 var _ Interface = (*AtomicCounter)(nil)
+var _ StatsProvider = (*AtomicCounter)(nil)
+var _ ProbeSetter = (*AtomicCounter)(nil)

@@ -49,24 +49,39 @@ func (c *BroadcastCounter) drop(n *waitNode) {
 }
 
 // Increment implements Interface. Every increment broadcasts to every
-// waiter, satisfied level or not.
+// waiter, satisfied level or not: in Stats terms each increment with
+// waiters satisfies the one round node, so SatisfiedLevels counts wake
+// rounds rather than distinct levels — that flattening is the ablation.
+// Increment(0) is a no-op and returns before touching the lock.
 func (c *BroadcastCounter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
 	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
+	c.wl.stats.increments++
 	n := c.round
 	if n != nil {
 		c.round = nil
 		c.wl.satisfyLocked(n)
 	}
 	c.wl.mu.Unlock()
+	c.wl.emit(EventIncrement, amount)
 	if n != nil {
 		c.wl.wakeBatch(n)
 	}
 }
 
-// Check implements Interface.
+// Check implements Interface. A waiter woken below its level re-joins
+// the next round, so Suspends counts every park — the thundering-herd
+// cost made visible in the unified schema.
 func (c *BroadcastCounter) Check(level uint64) {
 	c.wl.mu.Lock()
+	if level <= c.value {
+		c.wl.stats.immediateChecks++
+		c.wl.mu.Unlock()
+		return
+	}
 	for level > c.value {
 		n := c.wl.join(c, level)
 		c.wl.mu.Unlock()
@@ -89,6 +104,11 @@ func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error
 		return nil
 	}
 	c.wl.mu.Lock()
+	if level <= c.value {
+		c.wl.stats.immediateChecks++
+		c.wl.mu.Unlock()
+		return nil
+	}
 	for level > c.value {
 		if err := ctx.Err(); err != nil {
 			c.wl.mu.Unlock()
@@ -111,7 +131,8 @@ func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error
 	return nil
 }
 
-// Reset implements Interface.
+// Reset implements Interface. Stats are cumulative and survive the
+// reset.
 func (c *BroadcastCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
@@ -137,5 +158,16 @@ func (c *BroadcastCounter) Wakes() uint64 {
 	return c.wakes
 }
 
+// Stats implements StatsProvider with the engine's collector. For this
+// baseline PeakLevels is the peak number of live round nodes (at most
+// 1) and SatisfiedLevels counts satisfied wake rounds; see Increment.
+func (c *BroadcastCounter) Stats() Stats { return c.wl.readStats() }
+
+// SetProbe implements ProbeSetter. EventSuspend fires per park, so a
+// probe sees the herd re-park after every under-level wake.
+func (c *BroadcastCounter) SetProbe(f func(Event)) { c.wl.SetProbe(f) }
+
 var _ Interface = (*BroadcastCounter)(nil)
 var _ levelIndex = (*BroadcastCounter)(nil)
+var _ StatsProvider = (*BroadcastCounter)(nil)
+var _ ProbeSetter = (*BroadcastCounter)(nil)

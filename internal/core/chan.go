@@ -18,12 +18,30 @@ import (
 // never-satisfied level reclaims the level's map entry: abandoned levels
 // do not leak.
 //
+// ChanCounter has no waitlist engine, so it keeps the unified Stats
+// tallies natively under its own mutex — every counted event already
+// happens there. Each satisfied level is exactly one channel close, so
+// its snapshots always report ChannelCloses == SatisfiedLevels and
+// Broadcasts == 0. It is the one registry implementation without a
+// probe hook (no engine to hang it on); it is stats-only.
+//
 // The zero value is a valid counter with value zero.
 type ChanCounter struct {
 	mu     sync.Mutex
 	value  uint64
 	levels map[uint64]*gate // level -> close-on-satisfy gate
 	sweeps uint64           // gate-map scans by Increment, for regression tests
+	stats  chanStats
+}
+
+// chanStats mirrors the engine collector's mutex-guarded half for the
+// engineless implementation; all fields are guarded by ChanCounter.mu.
+type chanStats struct {
+	peakLevels      int
+	satisfiedLevels uint64 // == channel closes: one close per satisfied level
+	suspends        uint64
+	immediateChecks uint64
+	increments      uint64
 }
 
 // gate is one level's close-on-satisfy channel plus the number of
@@ -47,12 +65,14 @@ func (c *ChanCounter) Increment(amount uint64) {
 	c.mu.Lock()
 	old := c.value
 	c.value = checkedAdd(old, amount)
+	c.stats.increments++
 	if len(c.levels) != 0 {
 		c.sweeps++
 		for level, g := range c.levels {
 			if level > old && level <= c.value {
 				close(g.ch)
 				delete(c.levels, level)
+				c.stats.satisfiedLevels++
 			}
 		}
 	}
@@ -103,7 +123,11 @@ func (c *ChanCounter) CheckContext(ctx context.Context, level uint64) error {
 func (c *ChanCounter) satisfied(level uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return level <= c.value
+	if level <= c.value {
+		c.stats.immediateChecks++
+		return true
+	}
+	return false
 }
 
 // acquire returns the gate to wait on for level with the caller counted
@@ -113,6 +137,7 @@ func (c *ChanCounter) acquire(level uint64) *gate {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if level <= c.value {
+		c.stats.immediateChecks++
 		return nil
 	}
 	if c.levels == nil {
@@ -122,8 +147,12 @@ func (c *ChanCounter) acquire(level uint64) *gate {
 	if !ok {
 		g = &gate{ch: make(chan struct{})}
 		c.levels[level] = g
+		if len(c.levels) > c.stats.peakLevels {
+			c.stats.peakLevels = len(c.levels)
+		}
 	}
 	g.refs++
+	c.stats.suspends++
 	return g
 }
 
@@ -141,7 +170,8 @@ func (c *ChanCounter) release(level uint64, g *gate) {
 }
 
 // Reset implements Interface. A live gate means goroutines are still
-// parked on the counter, which the paper forbids during Reset.
+// parked on the counter, which the paper forbids during Reset. Stats
+// are cumulative and survive the reset.
 func (c *ChanCounter) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -168,4 +198,20 @@ func (c *ChanCounter) LiveLevels() int {
 	return len(c.levels)
 }
 
+// Stats implements StatsProvider in the unified schema: one channel
+// close per satisfied level, never a broadcast.
+func (c *ChanCounter) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		PeakLevels:      c.stats.peakLevels,
+		SatisfiedLevels: c.stats.satisfiedLevels,
+		ChannelCloses:   c.stats.satisfiedLevels,
+		Suspends:        c.stats.suspends,
+		ImmediateChecks: c.stats.immediateChecks,
+		Increments:      c.stats.increments,
+	}
+}
+
 var _ Interface = (*ChanCounter)(nil)
+var _ StatsProvider = (*ChanCounter)(nil)

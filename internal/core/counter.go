@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync/atomic"
 )
 
 // Counter is the reference monotonic-counter implementation, following
@@ -18,105 +17,58 @@ import (
 //
 // The blocking machinery (suspension, wake-up, cancellation) is the
 // shared waitlist engine, which keeps the wake fan-out off the engine
-// mutex: Increment unlinks the satisfied levels and broadcasts after
-// releasing the lock, and woken waiters drain with an atomic count.
-// Counter contributes the sorted-list index and the cost-model
-// instrumentation.
+// mutex — Increment unlinks the satisfied levels and broadcasts after
+// releasing the lock, and woken waiters drain with an atomic count —
+// and also owns the cost-model instrumentation (Stats, stats.go).
+// Counter contributes the sorted-list index.
 //
 // The zero value is a valid counter with value zero.
 type Counter struct {
 	wl    waitlist
 	value uint64
 	list  listIndex // ascending by level; satisfied nodes move to the engine's draining record
-
-	// Cost-model instrumentation (section 7 claims). Updated under wl.mu,
-	// except the wake-side tallies below, which the incrementer bumps
-	// after releasing the mutex (re-locking just to count would put the
-	// engine mutex back on the wake path).
-	stats          Stats
-	wakeBroadcasts atomic.Uint64
-	wakeCloses     atomic.Uint64
-}
-
-// Stats are cumulative cost-model measurements for one counter.
-type Stats struct {
-	// PeakLevels is the maximum number of distinct not-yet-satisfied
-	// levels (live list nodes) ever waited on at once. Satisfied nodes
-	// still draining their waiters are not counted: they no longer
-	// represent a waited-on level.
-	PeakLevels int
-	// SatisfiedLevels counts levels satisfied by increments — the
-	// paper's "one wake-up per satisfied level" cost unit.
-	SatisfiedLevels uint64
-	// Broadcasts counts condition-variable broadcasts actually issued
-	// by the wake path: a satisfied level whose waiters all sleep on
-	// ready channels (CheckContext) needs no broadcast, so Broadcasts
-	// can be less than SatisfiedLevels.
-	Broadcasts uint64
-	// ChannelCloses counts ready-channel closes issued by the wake
-	// path — the CheckContext counterpart of Broadcasts. A level with
-	// both kinds of sleeper costs one of each.
-	ChannelCloses uint64
-	// Suspends counts Check calls that actually blocked.
-	Suspends uint64
-	// ImmediateChecks counts Check calls satisfied without blocking.
-	ImmediateChecks uint64
-	// Increments counts Increment calls (including Increment(0)).
-	Increments uint64
 }
 
 // New returns a counter with value zero. Equivalent to new(Counter); it
 // exists for symmetry with the other implementations' constructors.
 func New() *Counter { return new(Counter) }
 
-// Counter is its own levelIndex: it delegates to the sorted list and
-// layers the PeakLevels measurement onto node creation.
-
-func (c *Counter) acquire(w *waitlist, level uint64) (*waitNode, bool) {
-	n, created := c.list.acquire(w, level)
-	if created && c.list.live > c.stats.PeakLevels {
-		c.stats.PeakLevels = c.list.live
-	}
-	return n, created
-}
-
-func (c *Counter) drop(n *waitNode) { c.list.drop(n) }
-
 // Increment implements Interface. The satisfied prefix is unlinked into
 // the engine's draining record under the mutex (still snapshot-visible,
 // matching Figure 2 (e)-(g)), but the wake-ups themselves — channel
 // closes and broadcasts — happen after the mutex is released, so a
 // large fan-out never stalls other operations on the counter.
+// Increment(0) is a no-op and returns before touching the lock.
 func (c *Counter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
 	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
-	c.stats.Increments++
-	head, k := c.list.popSatisfied(c.value)
+	c.wl.stats.increments++
+	head, _ := c.list.popSatisfied(c.value)
 	for n := head; n != nil; n = n.next {
 		c.wl.satisfyLocked(n)
 	}
-	c.stats.SatisfiedLevels += uint64(k)
 	c.wl.mu.Unlock()
-	if head == nil {
-		return
+	c.wl.emit(EventIncrement, amount)
+	if head != nil {
+		c.wl.wakeBatch(head)
 	}
-	closes, broadcasts := c.wl.wakeBatch(head)
-	c.wakeCloses.Add(uint64(closes))
-	c.wakeBroadcasts.Add(uint64(broadcasts))
 }
 
 // Check implements Interface.
 func (c *Counter) Check(level uint64) {
 	c.wl.mu.Lock()
 	if level <= c.value {
-		c.stats.ImmediateChecks++
+		c.wl.stats.immediateChecks++
 		c.wl.mu.Unlock()
 		return
 	}
 	n := c.join(level)
 	c.wl.mu.Unlock()
 	c.wl.wait(n)
-	c.wl.drain(c, n)
+	c.wl.drain(&c.list, n)
 }
 
 // CheckContext implements Interface. An already-satisfied level wins
@@ -131,7 +83,7 @@ func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
 	}
 	c.wl.mu.Lock()
 	if level <= c.value {
-		c.stats.ImmediateChecks++
+		c.wl.stats.immediateChecks++
 		c.wl.mu.Unlock()
 		return nil
 	}
@@ -142,27 +94,25 @@ func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
 	n := c.join(level)
 	c.wl.mu.Unlock()
 	err := c.wl.waitCtx(ctx, n)
-	c.wl.drain(c, n)
+	c.wl.drain(&c.list, n)
 	return err
 }
 
 // join registers the caller as a waiter on the node for level (which must
 // exceed c.value). Called with wl.mu held.
 func (c *Counter) join(level uint64) *waitNode {
-	n := c.wl.join(c, level)
-	c.stats.Suspends++
-	return n
+	return c.wl.join(&c.list, level)
 }
 
 // leave deregisters the caller from n with wl.mu already held — the
 // simulator's single-threaded counterpart of the engine's drain.
 func (c *Counter) leave(n *waitNode) {
-	c.wl.leaveLocked(c, n)
+	c.wl.leaveLocked(&c.list, n)
 }
 
 // Reset implements Interface. It panics if any goroutine is suspended on
 // the counter, since the paper forbids Reset concurrent with other
-// operations.
+// operations. Stats are cumulative and survive the reset.
 func (c *Counter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
@@ -179,14 +129,15 @@ func (c *Counter) Value() uint64 {
 	return c.value
 }
 
-// Stats returns a copy of the counter's cumulative cost statistics.
+// Stats implements StatsProvider with the engine's collector.
 func (c *Counter) Stats() Stats {
-	c.wl.mu.Lock()
-	s := c.stats
-	c.wl.mu.Unlock()
-	s.Broadcasts += c.wakeBroadcasts.Load()
-	s.ChannelCloses += c.wakeCloses.Load()
-	return s
+	return c.wl.readStats()
+}
+
+// SetProbe implements ProbeSetter: f observes increment/suspend/wake
+// events until replaced; nil disables the hook.
+func (c *Counter) SetProbe(f func(Event)) {
+	c.wl.SetProbe(f)
 }
 
 // Snapshot is a consistent picture of a counter's internal structure, in
@@ -247,4 +198,5 @@ func (c *Counter) Inspect() Snapshot {
 }
 
 var _ Interface = (*Counter)(nil)
-var _ levelIndex = (*Counter)(nil)
+var _ StatsProvider = (*Counter)(nil)
+var _ ProbeSetter = (*Counter)(nil)

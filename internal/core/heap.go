@@ -18,7 +18,6 @@ type HeapCounter struct {
 	wl    waitlist
 	value uint64
 	index heapIndex
-	peak  int
 }
 
 // heapIndex organizes live waitNodes as a min-heap by level plus a map
@@ -122,22 +121,15 @@ var _ levelIndex = (*heapIndex)(nil)
 // NewHeap returns a HeapCounter with value zero.
 func NewHeap() *HeapCounter { return new(HeapCounter) }
 
-// HeapCounter is its own levelIndex, layering peak tracking over the heap.
-
-func (c *HeapCounter) acquire(w *waitlist, level uint64) (*waitNode, bool) {
-	n, created := c.index.acquire(w, level)
-	if created && len(c.index.heap) > c.peak {
-		c.peak = len(c.index.heap)
-	}
-	return n, created
-}
-
-func (c *HeapCounter) drop(n *waitNode) { c.index.drop(n) }
-
-// Increment implements Interface.
+// Increment implements Interface. Increment(0) is a no-op and returns
+// before touching the lock.
 func (c *HeapCounter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
 	c.wl.mu.Lock()
 	c.value = checkedAdd(c.value, amount)
+	c.wl.stats.increments++
 	// Chain the popped nodes through their (otherwise unused) next
 	// pointers, ascending, so the out-of-lock wake needs no allocation.
 	var head, tail *waitNode
@@ -153,6 +145,7 @@ func (c *HeapCounter) Increment(amount uint64) {
 		tail = n
 	}
 	c.wl.mu.Unlock()
+	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
@@ -162,13 +155,14 @@ func (c *HeapCounter) Increment(amount uint64) {
 func (c *HeapCounter) Check(level uint64) {
 	c.wl.mu.Lock()
 	if level <= c.value {
+		c.wl.stats.immediateChecks++
 		c.wl.mu.Unlock()
 		return
 	}
-	n := c.wl.join(c, level)
+	n := c.wl.join(&c.index, level)
 	c.wl.mu.Unlock()
 	c.wl.wait(n)
-	c.wl.drain(c, n)
+	c.wl.drain(&c.index, n)
 }
 
 // CheckContext implements Interface. The value is consulted before the
@@ -184,6 +178,7 @@ func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
 	}
 	c.wl.mu.Lock()
 	if level <= c.value {
+		c.wl.stats.immediateChecks++
 		c.wl.mu.Unlock()
 		return nil
 	}
@@ -191,14 +186,15 @@ func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
 		c.wl.mu.Unlock()
 		return err
 	}
-	n := c.wl.join(c, level)
+	n := c.wl.join(&c.index, level)
 	c.wl.mu.Unlock()
 	err := c.wl.waitCtx(ctx, n)
-	c.wl.drain(c, n)
+	c.wl.drain(&c.index, n)
 	return err
 }
 
-// Reset implements Interface.
+// Reset implements Interface. Stats are cumulative and survive the
+// reset.
 func (c *HeapCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
@@ -216,12 +212,20 @@ func (c *HeapCounter) Value() uint64 {
 }
 
 // PeakLevels reports the maximum number of distinct levels simultaneously
-// waited on over the counter's lifetime.
+// waited on over the counter's lifetime (Stats().PeakLevels, kept as a
+// named accessor for the E10 experiment).
 func (c *HeapCounter) PeakLevels() int {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
-	return c.peak
+	return c.wl.stats.peakLevels
 }
 
+// Stats implements StatsProvider with the engine's collector.
+func (c *HeapCounter) Stats() Stats { return c.wl.readStats() }
+
+// SetProbe implements ProbeSetter.
+func (c *HeapCounter) SetProbe(f func(Event)) { c.wl.SetProbe(f) }
+
 var _ Interface = (*HeapCounter)(nil)
-var _ levelIndex = (*HeapCounter)(nil)
+var _ StatsProvider = (*HeapCounter)(nil)
+var _ ProbeSetter = (*HeapCounter)(nil)

@@ -89,7 +89,7 @@ func TestSpinSetSpinsDuringChecks(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 200; i++ {
-			c.SetSpins(i % 7) // includes 0: restore default
+			c.SetSpins(i%7 - 1) // sweeps -1 (restore default) through 5
 			c.Increment(1)
 		}
 	}()

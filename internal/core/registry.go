@@ -48,3 +48,23 @@ func NewImpl(impl Impl) Interface {
 	}
 	panic("core: unknown counter implementation " + string(impl))
 }
+
+// Every registry implementation reports the unified Stats schema; the
+// engine-based ones (all but ChanCounter, which has no engine) also
+// accept a probe. The conformance suite relies on both.
+var (
+	_ StatsProvider = (*Counter)(nil)
+	_ StatsProvider = (*HeapCounter)(nil)
+	_ StatsProvider = (*ChanCounter)(nil)
+	_ StatsProvider = (*BroadcastCounter)(nil)
+	_ StatsProvider = (*AtomicCounter)(nil)
+	_ StatsProvider = (*SpinCounter)(nil)
+	_ StatsProvider = (*ShardedCounter)(nil)
+
+	_ ProbeSetter = (*Counter)(nil)
+	_ ProbeSetter = (*HeapCounter)(nil)
+	_ ProbeSetter = (*BroadcastCounter)(nil)
+	_ ProbeSetter = (*AtomicCounter)(nil)
+	_ ProbeSetter = (*SpinCounter)(nil)
+	_ ProbeSetter = (*ShardedCounter)(nil)
+)

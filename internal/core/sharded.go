@@ -4,7 +4,6 @@ import (
 	"context"
 	"runtime"
 	"sync/atomic"
-	"unsafe"
 )
 
 // ShardedCounter makes the write path scale with cores: while nobody is
@@ -34,11 +33,25 @@ import (
 // AtomicCounter's. A seqlock version around flushes keeps concurrent
 // sums from ever observing a residue twice or a mid-flush tear.
 //
-// Overflow: the fast path panics when a single shard's residue would
-// wrap (which covers any single-goroutine overflow, since a goroutine
-// hashes to a stable shard); an overflow assembled across shards is
-// caught by checkedAdd at the next flush or Value/Check sum. Either way
-// the counter never silently wraps.
+// Each cell packs an increment count (low 16 bits) next to its residue
+// (high 48), so the same CAS that absorbs a fast-path increment also
+// counts it — Stats.FastPathIncrements is exact with no second atomic
+// on the hot path. A cell whose count or residue reaches its cap
+// diverts that increment through the locked path, which folds every
+// cell into the published value first.
+//
+// Overflow: shard stripes are chosen by a stack-address hash, and Go
+// moves goroutine stacks when they grow, so a goroutine's stripe can
+// change over its lifetime — no per-shard check can bound any one
+// goroutine's contribution. The guarantee is instead at the fold points:
+// a cell's residue is capped well below wrapping (overflowing increments
+// divert to the locked path), and every fold of residues into the
+// published value — flush, Value, the Check fast path — goes through
+// checkedAdd, which panics if the true value would exceed the uint64
+// range. Once the published value itself comes within one cell's reach
+// of that range, the gate's overflow bit closes the fast path for good
+// (until a Reset), so the overflowing Increment is the one that panics.
+// Either way the counter never silently wraps.
 //
 // The zero value is a valid counter with value zero; the shard array is
 // allocated on first use.
@@ -51,21 +64,58 @@ type ShardedCounter struct {
 	// moving residue between shards and published. Readers retry across
 	// it so sums never tear or double-count.
 	flushSeq atomic.Uint64
-	// gate counts registered waiters. Nonzero diverts Increment onto the
-	// exact locked path. Raised under wl.mu (before the registering
-	// waiter's flush); lowered atomically by departing waiters, so the
-	// wake fan-out never funnels through wl.mu just to drop the gate.
+	// gate counts registered waiters in its low bits and carries the
+	// overflow-guard flag in gateOverflowBit. Nonzero diverts Increment
+	// onto the exact locked path. The waiter count is raised under wl.mu
+	// (before the registering waiter's flush) and lowered atomically by
+	// departing waiters, so the wake fan-out never funnels through wl.mu
+	// just to drop the gate; the overflow bit tracks the published value
+	// and only changes under wl.mu.
 	gate atomic.Int32
 
 	shards atomic.Pointer[[]shardCell] // lazily allocated, power-of-two length
 
 	wl   waitlist
 	list listIndex
+
+	// fastIncs and flushes extend the engine's collector with the
+	// sharded-specific schema fields; both change only at fold points,
+	// which all hold wl.mu. Counts still sitting in cells are added at
+	// snapshot time, so FastPathIncrements never lags the fast path.
+	fastIncs uint64 // flushed cell counts (Stats.FastPathIncrements)
+	flushes  uint64 // flush passes (Stats.Flushes)
+	// fastChecks counts satisfied lock-free checks (Stats.ImmediateChecks).
+	fastChecks stripedUint64
 }
 
-// shardCell is one stripe of pending increments. Padded to two cache
-// lines so neighbouring cells never false-share (and the adjacent-line
-// prefetcher does not couple them).
+// Cell layout: residue<<cellCountBits | count. The count saturating at
+// 16 bits and the residue capped at 2^47 both divert to the locked
+// path, so the packed CAS can never wrap either half.
+const (
+	cellCountBits  = 16
+	cellCountMask  = 1<<cellCountBits - 1
+	cellResidueCap = uint64(1) << 47
+	// cellPackedCap is cellResidueCap in packed form: a cell whose word
+	// would reach it holds a residue at the cap. Fits uint64 (2^63).
+	cellPackedCap = cellResidueCap << cellCountBits
+)
+
+const (
+	// gateOverflowBit is set in gate while the published value is above
+	// overflowWatermark, closing the fast path so checkedAdd on the
+	// locked path can panic on the exact overflowing Increment. Far above
+	// any plausible waiter count, so the two halves never interfere.
+	gateOverflowBit = 1 << 30
+	// overflowWatermark leaves room for one cell's worth of residue plus
+	// one fast-path amount (each < cellResidueCap): while published is at
+	// or below it, a single cell cannot carry the true value past the
+	// uint64 range, so the fast path needs no per-increment check.
+	overflowWatermark = ^uint64(0) - (uint64(2) << 47)
+)
+
+// shardCell is one stripe of pending increments (packed residue+count).
+// Padded to two cache lines so neighbouring cells never false-share (and
+// the adjacent-line prefetcher does not couple them).
 type shardCell struct {
 	v atomic.Uint64
 	_ [120]byte
@@ -94,87 +144,103 @@ func (c *ShardedCounter) cells() []shardCell {
 	return *c.shards.Load()
 }
 
-// shardIndex picks a stripe from the address of a stack variable: stacks
-// are per-goroutine, so concurrent incrementers spread across cells,
-// while one goroutine keeps hashing to the same cell (which is what lets
-// the fast path detect a single-goroutine overflow exactly). mask is
-// len(cells)-1, a power of two minus one.
-func shardIndex(mask uint64) uint64 {
-	var marker byte
-	h := uint64(uintptr(unsafe.Pointer(&marker)))
-	h ^= h >> 33
-	h *= 0x9e3779b97f4a7c15
-	return (h >> 24) & mask
-}
-
 // Increment implements Interface. With no waiters registered it is one
-// CAS on a private cache line; with waiters it is exactly the
-// AtomicCounter locked path plus a residue flush.
+// CAS on a private cache line; with waiters (or a full cell, or an
+// amount too large for a cell) it is exactly the AtomicCounter locked
+// path plus a residue flush. Increment(0) is a no-op.
 func (c *ShardedCounter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	if c.gate.Load() == 0 {
+	if c.gate.Load() == 0 && amount < cellResidueCap {
 		cells := c.cells()
-		s := &cells[shardIndex(uint64(len(cells)-1))].v
+		s := &cells[stripeIndex(uint64(len(cells)-1))].v
+		// One packed add bumps residue and count together: with the count
+		// below its mask there is no carry between the halves, and keeping
+		// the word under cellPackedCap-add keeps the residue under its cap.
+		add := amount<<cellCountBits | 1
 		for {
 			old := s.Load()
-			if s.CompareAndSwap(old, checkedAdd(old, amount)) {
-				break
+			if old&cellCountMask == cellCountMask || old >= cellPackedCap-add {
+				break // cell full: fold through the locked path
 			}
-		}
-		// Dekker-style recheck. A waiter orders gate.Add(1) before its
-		// flush reads the shards; we order the shard CAS before this
-		// load. Both are sequentially consistent atomics, so either the
-		// waiter's flush saw our residue, or this load sees the gate up
-		// and we fold and wake under the lock ourselves. No increment
-		// can land in a shard and leave a satisfied waiter sleeping.
-		if c.gate.Load() != 0 {
-			c.wl.mu.Lock()
-			c.flushLocked()
-			head := c.collectSatisfiedLocked()
-			c.wl.mu.Unlock()
-			if head != nil {
-				c.wl.wakeBatch(head)
+			if !s.CompareAndSwap(old, old+add) {
+				continue
 			}
+			// Dekker-style recheck. A waiter orders gate.Add(1) before its
+			// flush reads the shards; we order the shard CAS before this
+			// load. Both are sequentially consistent atomics, so either the
+			// waiter's flush saw our residue, or this load sees the gate up
+			// and we fold and wake under the lock ourselves. No increment
+			// can land in a shard and leave a satisfied waiter sleeping.
+			if c.gate.Load() != 0 {
+				c.wl.mu.Lock()
+				c.flushLocked()
+				head := c.collectSatisfiedLocked()
+				c.wl.mu.Unlock()
+				if head != nil {
+					c.wl.wakeBatch(head)
+				}
+			}
+			c.wl.emit(EventIncrement, amount)
+			return
 		}
-		return
 	}
 	c.wl.mu.Lock()
 	c.flushLocked()
-	c.published.Store(checkedAdd(c.published.Load(), amount))
+	c.storePublishedLocked(checkedAdd(c.published.Load(), amount))
+	c.wl.stats.increments++
 	head := c.collectSatisfiedLocked()
 	c.wl.mu.Unlock()
+	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
 }
 
-// flushLocked folds every shard residue into the published value. Called
-// with wl.mu held. The seqlock goes odd while residue is in flight
-// between a shard and published, so lock-free sums retry instead of
-// missing (or double-counting) the moving portion.
+// storePublishedLocked stores v as the published value and keeps the
+// gate's overflow bit in sync: once v is within one cell's reach of the
+// uint64 range, every Increment must take the locked path so checkedAdd
+// can panic on the exact overflowing call; Reset lowers the bit again.
+// Called with wl.mu held.
+func (c *ShardedCounter) storePublishedLocked(v uint64) {
+	c.published.Store(v)
+	guarded := c.gate.Load()&gateOverflowBit != 0
+	if v > overflowWatermark && !guarded {
+		c.gate.Add(gateOverflowBit)
+	} else if v <= overflowWatermark && guarded {
+		c.gate.Add(-gateOverflowBit)
+	}
+}
+
+// flushLocked folds every shard residue into the published value and
+// every cell count into the fast-path tally. Called with wl.mu held.
+// The seqlock goes odd while residue is in flight between a shard and
+// published, so lock-free sums retry instead of missing (or
+// double-counting) the moving portion.
 func (c *ShardedCounter) flushLocked() {
 	p := c.shards.Load()
 	if p == nil {
 		return
 	}
+	c.flushes++
 	c.flushSeq.Add(1)
 	v := c.published.Load()
 	for i := range *p {
 		s := &(*p)[i].v
 		for {
-			r := s.Load()
-			if r == 0 {
+			old := s.Load()
+			if old == 0 {
 				break
 			}
-			if s.CompareAndSwap(r, 0) {
-				v = checkedAdd(v, r)
+			if s.CompareAndSwap(old, 0) {
+				v = checkedAdd(v, old>>cellCountBits)
+				c.fastIncs += old & cellCountMask
 				break
 			}
 		}
 	}
-	c.published.Store(v)
+	c.storePublishedLocked(v)
 	c.flushSeq.Add(1)
 }
 
@@ -203,7 +269,7 @@ func (c *ShardedCounter) sum() uint64 {
 		v := c.published.Load()
 		if p := c.shards.Load(); p != nil {
 			for i := range *p {
-				v = checkedAdd(v, (*p)[i].v.Load())
+				v = checkedAdd(v, (*p)[i].v.Load()>>cellCountBits)
 			}
 		}
 		if c.flushSeq.Load() == s1 {
@@ -219,6 +285,7 @@ func (c *ShardedCounter) sum() uint64 {
 // raising the gate.
 func (c *ShardedCounter) Check(level uint64) {
 	if level <= c.published.Load() || level <= c.sum() {
+		c.fastChecks.Add(1)
 		return
 	}
 	c.wl.mu.Lock()
@@ -229,6 +296,7 @@ func (c *ShardedCounter) Check(level uint64) {
 	// miss a satisfying update.
 	c.flushLocked()
 	if level <= c.published.Load() {
+		c.wl.stats.immediateChecks++
 		c.gate.Add(-1)
 		c.wl.mu.Unlock()
 		return
@@ -246,6 +314,7 @@ func (c *ShardedCounter) Check(level uint64) {
 // ready channel, spawning no goroutine.
 func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 	if level <= c.published.Load() || level <= c.sum() {
+		c.fastChecks.Add(1)
 		return nil
 	}
 	done := ctx.Done()
@@ -257,6 +326,7 @@ func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 	c.gate.Add(1)
 	c.flushLocked()
 	if level <= c.published.Load() {
+		c.wl.stats.immediateChecks++
 		c.gate.Add(-1)
 		c.wl.mu.Unlock()
 		return nil
@@ -274,7 +344,9 @@ func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 	return err
 }
 
-// Reset implements Interface.
+// Reset implements Interface. Stats are cumulative and survive the
+// reset: cell counts are folded into the fast-path tally before the
+// residues are discarded.
 func (c *ShardedCounter) Reset() {
 	c.wl.mu.Lock()
 	defer c.wl.mu.Unlock()
@@ -284,14 +356,50 @@ func (c *ShardedCounter) Reset() {
 	c.flushSeq.Add(1)
 	if p := c.shards.Load(); p != nil {
 		for i := range *p {
+			c.fastIncs += (*p)[i].v.Load() & cellCountMask
 			(*p)[i].v.Store(0)
 		}
 	}
-	c.published.Store(0)
+	c.storePublishedLocked(0)
 	c.flushSeq.Add(1)
 }
 
 // Value implements Interface. For inspection and testing only.
 func (c *ShardedCounter) Value() uint64 { return c.sum() }
 
+// Stats implements StatsProvider. Counts still packed in shard cells are
+// added to the flushed tally while holding the engine mutex (the only
+// place cells are emptied), so FastPathIncrements is exact even before
+// any flush; Increments reports locked plus fast-path increments.
+func (c *ShardedCounter) Stats() Stats {
+	// Wake-side atomics first — see waitlist.readStats for the ordering
+	// argument behind the Broadcasts <= SatisfiedLevels invariant.
+	b := c.wl.stats.broadcasts.Load()
+	cl := c.wl.stats.channelCloses.Load()
+	c.wl.mu.Lock()
+	s := c.wl.lockedStats()
+	fp := c.fastIncs
+	if p := c.shards.Load(); p != nil {
+		for i := range *p {
+			fp += (*p)[i].v.Load() & cellCountMask
+		}
+	}
+	s.FastPathIncrements = fp
+	s.Flushes = c.flushes
+	c.wl.mu.Unlock()
+	s.Broadcasts, s.ChannelCloses = b, cl
+	s.Increments += fp
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// SetProbe implements ProbeSetter. Fast-path increments emit
+// EventIncrement like locked ones; satisfied fast-path checks emit no
+// event.
+func (c *ShardedCounter) SetProbe(f func(Event)) {
+	c.wl.SetProbe(f)
+}
+
 var _ Interface = (*ShardedCounter)(nil)
+var _ StatsProvider = (*ShardedCounter)(nil)
+var _ ProbeSetter = (*ShardedCounter)(nil)

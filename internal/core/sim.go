@@ -22,7 +22,7 @@ func (s *Sim) Check(level uint64) bool {
 	s.c.wl.mu.Lock()
 	defer s.c.wl.mu.Unlock()
 	if level <= s.c.value {
-		s.c.stats.ImmediateChecks++
+		s.c.wl.stats.immediateChecks++
 		return false
 	}
 	s.c.join(level)
@@ -40,16 +40,15 @@ func (s *Sim) Increment(amount uint64) {
 	s.c.wl.mu.Lock()
 	defer s.c.wl.mu.Unlock()
 	s.c.value = checkedAdd(s.c.value, amount)
-	s.c.stats.Increments++
-	head, k := s.c.list.popSatisfied(s.c.value)
+	s.c.wl.stats.increments++
+	head, _ := s.c.list.popSatisfied(s.c.value)
 	for n := head; n != nil; {
 		next := n.next
 		n.next = nil // no wakeBatch walks this chain; sever it here
-		s.c.wl.satisfyLocked(n)
-		s.c.stats.Broadcasts++
+		s.c.wl.satisfyLocked(n) // bumps SatisfiedLevels, one per node
+		s.c.wl.stats.broadcasts.Add(1)
 		n = next
 	}
-	s.c.stats.SatisfiedLevels += uint64(k)
 }
 
 // Resume simulates one woken thread at the given level finishing its Check

@@ -22,29 +22,37 @@ const defaultSpins = 64
 //
 // The zero value is a valid counter with value zero.
 type SpinCounter struct {
-	a     AtomicCounter
-	spins atomic.Int64 // probe budget; 0 means defaultSpins
+	a AtomicCounter
+	// spins holds the probe budget plus one, so that the zero value
+	// still means "default" while an explicit budget of zero (suspend
+	// immediately — the right tuning for long expected waits) remains
+	// expressible: 0 = default, b+1 = budget b.
+	spins atomic.Int64
+	// rounds counts yield-spin probes actually made (Stats.SpinRounds).
+	rounds stripedUint64
 }
 
 // NewSpin returns a SpinCounter with the default spin budget.
 func NewSpin() *SpinCounter { return new(SpinCounter) }
 
-// SetSpins sets the probe budget; n <= 0 restores the default. It is
-// safe to call concurrently with Check/CheckContext on other goroutines:
-// the budget is stored atomically and each Check snapshots it once on
-// entry to its spin phase, so a mid-flight tune affects only subsequent
-// checks.
+// SetSpins sets the probe budget: n probes before suspending. n == 0
+// means no spinning at all — an unsatisfied check suspends immediately —
+// and a negative n restores the default budget. It is safe to call
+// concurrently with Check/CheckContext on other goroutines: the budget
+// is stored atomically and each Check snapshots it once on entry to its
+// spin phase, so a mid-flight tune affects only subsequent checks.
 func (c *SpinCounter) SetSpins(n int) {
 	if n < 0 {
-		n = 0
+		c.spins.Store(0) // default sentinel
+		return
 	}
-	c.spins.Store(int64(n))
+	c.spins.Store(int64(n) + 1)
 }
 
 // budget snapshots the current probe budget.
 func (c *SpinCounter) budget() int {
-	if n := c.spins.Load(); n > 0 {
-		return int(n)
+	if v := c.spins.Load(); v > 0 {
+		return int(v - 1)
 	}
 	return defaultSpins
 }
@@ -55,14 +63,20 @@ func (c *SpinCounter) Increment(amount uint64) { c.a.Increment(amount) }
 // Check implements Interface.
 func (c *SpinCounter) Check(level uint64) {
 	if level <= c.a.value.Load() {
+		c.a.fastChecks.Add(1)
 		return
 	}
 	budget := c.budget()
 	for i := 0; i < budget; i++ {
 		runtime.Gosched()
 		if level <= c.a.value.Load() {
+			c.rounds.Add(uint64(i + 1))
+			c.a.fastChecks.Add(1)
 			return
 		}
+	}
+	if budget > 0 {
+		c.rounds.Add(uint64(budget))
 	}
 	c.a.Check(level)
 }
@@ -72,6 +86,7 @@ func (c *SpinCounter) Check(level uint64) {
 // already-satisfied level wins over an already-cancelled context.
 func (c *SpinCounter) CheckContext(ctx context.Context, level uint64) error {
 	if level <= c.a.value.Load() {
+		c.a.fastChecks.Add(1)
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -81,11 +96,17 @@ func (c *SpinCounter) CheckContext(ctx context.Context, level uint64) error {
 	for i := 0; i < budget; i++ {
 		runtime.Gosched()
 		if level <= c.a.value.Load() {
+			c.rounds.Add(uint64(i + 1))
+			c.a.fastChecks.Add(1)
 			return nil
 		}
 		if err := ctx.Err(); err != nil {
+			c.rounds.Add(uint64(i + 1))
 			return err
 		}
+	}
+	if budget > 0 {
+		c.rounds.Add(uint64(budget))
 	}
 	return c.a.CheckContext(ctx, level)
 }
@@ -96,4 +117,18 @@ func (c *SpinCounter) Reset() { c.a.Reset() }
 // Value implements Interface. For inspection and testing only.
 func (c *SpinCounter) Value() uint64 { return c.a.Value() }
 
+// Stats implements StatsProvider: the underlying atomic counter's
+// collector plus the spin-probe tally.
+func (c *SpinCounter) Stats() Stats {
+	s := c.a.Stats()
+	s.SpinRounds = c.rounds.Load()
+	return s
+}
+
+// SetProbe implements ProbeSetter; events are observed through the
+// underlying engine (spin probes emit no event).
+func (c *SpinCounter) SetProbe(f func(Event)) { c.a.SetProbe(f) }
+
 var _ Interface = (*SpinCounter)(nil)
+var _ StatsProvider = (*SpinCounter)(nil)
+var _ ProbeSetter = (*SpinCounter)(nil)

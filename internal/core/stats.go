@@ -1,0 +1,189 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file is the engine-level observability layer: one Stats schema
+// reported by every implementation in the registry, a StatsProvider
+// interface that tests, the counter facade, and production exporters
+// (expvar) consume, and a zero-cost-when-disabled probe hook for
+// event-level instrumentation. The collector itself lives on the shared
+// waitlist engine (waitlist.go), so the condition-variable designs share
+// one implementation; ChanCounter, which has no engine, keeps equivalent
+// tallies under its own mutex and reports them through the same schema.
+
+// Stats are cumulative cost-model measurements for one counter — the
+// section 7 claims ("storage and time proportional to distinct waited-on
+// levels, not waiters") made observable, in one schema for all seven
+// implementations. Counters only ever grow; Reset does NOT clear them
+// (a reused counter keeps its lifetime totals, so long-running
+// deployments can export them as monotone metrics).
+//
+// Snapshot consistency invariant: in any Stats value returned by a
+// StatsProvider, Broadcasts <= SatisfiedLevels and ChannelCloses <=
+// SatisfiedLevels. The wake-side tallies are bumped by the incrementer
+// after it releases the engine mutex, so they lag the satisfied-level
+// count during a wake storm and catch up once the batch finishes; a
+// snapshot can never observe a wake whose satisfy it has not observed.
+type Stats struct {
+	// PeakLevels is the maximum number of distinct not-yet-satisfied
+	// levels ever waited on at once. Satisfied nodes still draining
+	// their waiters are not counted: they no longer represent a
+	// waited-on level. For BroadcastCounter — whose single round node
+	// deliberately ignores levels — this is the peak number of live
+	// round nodes (at most 1): that flattening is the ablation.
+	PeakLevels int
+	// SatisfiedLevels counts levels satisfied by increments — the
+	// paper's "one wake-up per satisfied level" cost unit. For
+	// BroadcastCounter it counts satisfied wake rounds (every increment
+	// with waiters satisfies the one round node, whatever its levels).
+	SatisfiedLevels uint64
+	// Broadcasts counts condition-variable broadcasts actually issued
+	// by the wake path: a satisfied level whose waiters all sleep on
+	// ready channels (CheckContext) needs no broadcast, so Broadcasts
+	// can be less than SatisfiedLevels.
+	Broadcasts uint64
+	// ChannelCloses counts ready-channel closes issued by the wake
+	// path — the CheckContext counterpart of Broadcasts. A level with
+	// both kinds of sleeper costs one of each. For ChanCounter every
+	// satisfied level is exactly one channel close.
+	ChannelCloses uint64
+	// Suspends counts Check/CheckContext calls that registered as a
+	// waiter (actually blocked). BroadcastCounter waiters woken below
+	// their level re-register, so its Suspends counts every park.
+	Suspends uint64
+	// ImmediateChecks counts Check/CheckContext calls satisfied without
+	// blocking, whether on a locked re-check or a lock-free fast path.
+	ImmediateChecks uint64
+	// Increments counts value-changing Increment calls. Increment(0) is
+	// a documented no-op and is not counted: the fast-path
+	// implementations return before touching any shared state.
+	Increments uint64
+	// SpinRounds counts yield-spin probes made before suspending
+	// (SpinCounter only; zero elsewhere).
+	SpinRounds uint64
+	// FastPathIncrements counts increments absorbed by the lock-free
+	// striped fast path (ShardedCounter only). Always included in
+	// Increments.
+	FastPathIncrements uint64
+	// Flushes counts residue-flush passes folding shard cells into the
+	// published value (ShardedCounter only).
+	Flushes uint64
+}
+
+// StatsProvider is implemented by every implementation in the registry.
+// The conformance suite (stats_test.go) holds each of them to the same
+// schema semantics.
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// EventKind discriminates probe events.
+type EventKind uint8
+
+const (
+	// EventIncrement fires once per value-changing Increment call, after
+	// the counter's locks are released; Event.Level carries the amount.
+	EventIncrement EventKind = iota
+	// EventSuspend fires when a waiter is about to park; Event.Level is
+	// the level waited on.
+	EventSuspend
+	// EventWake fires once per satisfied level as its waiters are woken
+	// (the paper's cost unit, observed live); Event.Level is the level.
+	EventWake
+)
+
+// String returns the kind's name for logs and traces.
+func (k EventKind) String() string {
+	switch k {
+	case EventIncrement:
+		return "increment"
+	case EventSuspend:
+		return "suspend"
+	case EventWake:
+		return "wake"
+	}
+	return "unknown"
+}
+
+// Event is one probe observation.
+type Event struct {
+	Kind  EventKind
+	Level uint64
+}
+
+// ProbeSetter is implemented by the engine-based implementations (all of
+// the registry except ChanCounter, which has no engine): SetProbe(nil)
+// disables the hook. The probe is a nil-checked function pointer — when
+// disabled, the only cost on any path is one atomic pointer load — and
+// it is never invoked with the engine mutex (or any per-level wake lock)
+// held, so a probe may itself inspect the counter.
+type ProbeSetter interface {
+	SetProbe(func(Event))
+}
+
+// stripeIndex picks a stripe from the address of a stack variable:
+// stacks are per-goroutine, so concurrent callers spread across cells.
+// The mapping is only statistical — Go moves goroutine stacks when they
+// grow, so a goroutine's stripe can change over its lifetime — which is
+// fine for contention spreading but must never be relied on for
+// correctness (see ShardedCounter's overflow notes). mask is a
+// power-of-two length minus one.
+func stripeIndex(mask uint64) uint64 {
+	var marker byte
+	h := uint64(uintptr(unsafe.Pointer(&marker)))
+	h ^= h >> 33
+	h *= 0x9e3779b97f4a7c15
+	return (h >> 24) & mask
+}
+
+// stripedUint64 is a contention-spread counter for lock-free fast paths:
+// Add lands on one of GOMAXPROCS cache-padded cells chosen by
+// stripeIndex, so concurrent fast-path callers do not serialize on one
+// cache line; Load sums the cells (a momentary snapshot, like any
+// concurrent counter read). The zero value is ready to use; cells are
+// allocated on first Add.
+type stripedUint64 struct {
+	cells atomic.Pointer[[]paddedUint64]
+}
+
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [120]byte // two cache lines, clear of the adjacent-line prefetcher
+}
+
+func (s *stripedUint64) Add(n uint64) {
+	p := s.cells.Load()
+	if p == nil {
+		p = s.initCells()
+	}
+	(*p)[stripeIndex(uint64(len(*p)-1))].v.Add(n)
+}
+
+// initCells allocates the cell array once; racing initializers agree on
+// the winner via CompareAndSwap, so no counts are ever lost.
+func (s *stripedUint64) initCells() *[]paddedUint64 {
+	n := runtime.GOMAXPROCS(0)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	fresh := make([]paddedUint64, size)
+	s.cells.CompareAndSwap(nil, &fresh)
+	return s.cells.Load()
+}
+
+func (s *stripedUint64) Load() uint64 {
+	p := s.cells.Load()
+	if p == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range *p {
+		sum += (*p)[i].v.Load()
+	}
+	return sum
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pollStats spins until cond holds of the provider's snapshot — the
+// stats themselves are how these tests learn that waiters have actually
+// parked, so no test below needs a timing-based sleep.
+func pollStats(t *testing.T, p StatsProvider, what string, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(p.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats now %+v", what, p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStatsConformance holds every registry implementation to the same
+// Stats schema semantics: fresh counters report zero, Increment(0) is
+// uncounted, satisfied checks count as immediate, parked waiters count
+// as suspends, a wake storm's satisfied levels and peak match the
+// scenario, wake tallies never exceed satisfied levels, and Reset
+// preserves the cumulative totals.
+func TestStatsConformance(t *testing.T) {
+	const (
+		levels   = 4
+		perLevel = 3 // 2 Check + 1 CheckContext per level
+		waiters  = levels * perLevel
+		base     = uint64(100)
+	)
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		p, ok := c.(StatsProvider)
+		if !ok {
+			t.Fatal("implementation does not satisfy StatsProvider")
+		}
+		if s := p.Stats(); s != (Stats{}) {
+			t.Fatalf("fresh counter stats = %+v, want all zero", s)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+
+		c.Increment(0) // documented no-op: must not be counted
+		c.Increment(10)
+		// Five satisfied checks, none of which may block or park.
+		c.Check(5)
+		c.Check(10)
+		if err := c.CheckContext(context.Background(), 7); err != nil {
+			t.Fatalf("satisfied CheckContext = %v", err)
+		}
+		if err := c.CheckContext(ctx, 1); err != nil {
+			t.Fatalf("satisfied CheckContext = %v", err)
+		}
+		c.Check(2)
+		if s := p.Stats(); s.ImmediateChecks != 5 || s.Suspends != 0 || s.Increments != 1 {
+			t.Fatalf("after 1 increment + 5 satisfied checks: %+v, want ImmediateChecks=5 Suspends=0 Increments=1", s)
+		}
+
+		// The wake storm: perLevel waiters on each of `levels` distinct
+		// levels, one increment satisfying them all.
+		var wg sync.WaitGroup
+		for l := 0; l < levels; l++ {
+			level := base + uint64(l)
+			for k := 0; k < perLevel; k++ {
+				useCtx := k == 0
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if useCtx {
+						if err := c.CheckContext(ctx, level); err != nil {
+							t.Errorf("CheckContext(%d) = %v, want nil", level, err)
+						}
+					} else {
+						c.Check(level)
+					}
+				}()
+			}
+		}
+		pollStats(t, p, "all storm waiters suspended", func(s Stats) bool { return s.Suspends >= waiters })
+		c.Increment(base) // 10+100 covers every storm level
+		wg.Wait()
+
+		s := p.Stats()
+		wantSatisfied, wantPeak := uint64(levels), levels
+		if _, isBroadcast := c.(*BroadcastCounter); isBroadcast {
+			// The naive baseline flattens all levels onto one round node:
+			// one satisfied wake round, at most one live node. That
+			// contrast IS the ablation the schema makes visible.
+			wantSatisfied, wantPeak = 1, 1
+		}
+		if s.Suspends != waiters {
+			t.Errorf("Suspends = %d, want %d (one per parked waiter)", s.Suspends, waiters)
+		}
+		if s.ImmediateChecks != 5 {
+			t.Errorf("ImmediateChecks = %d, want 5 (storm checks all suspended)", s.ImmediateChecks)
+		}
+		if s.Increments != 2 {
+			t.Errorf("Increments = %d, want 2 (Increment(0) is uncounted)", s.Increments)
+		}
+		if s.SatisfiedLevels != wantSatisfied {
+			t.Errorf("SatisfiedLevels = %d, want %d", s.SatisfiedLevels, wantSatisfied)
+		}
+		if s.PeakLevels != wantPeak {
+			t.Errorf("PeakLevels = %d, want %d", s.PeakLevels, wantPeak)
+		}
+		if s.Broadcasts > s.SatisfiedLevels {
+			t.Errorf("Broadcasts = %d > SatisfiedLevels = %d: invariant violated", s.Broadcasts, s.SatisfiedLevels)
+		}
+		if s.ChannelCloses > s.SatisfiedLevels {
+			t.Errorf("ChannelCloses = %d > SatisfiedLevels = %d: invariant violated", s.ChannelCloses, s.SatisfiedLevels)
+		}
+		if _, isChan := c.(*ChanCounter); isChan {
+			if s.ChannelCloses != s.SatisfiedLevels {
+				t.Errorf("ChanCounter ChannelCloses = %d, want SatisfiedLevels = %d (one close per level)", s.ChannelCloses, s.SatisfiedLevels)
+			}
+			if s.Broadcasts != 0 {
+				t.Errorf("ChanCounter Broadcasts = %d, want 0", s.Broadcasts)
+			}
+		}
+
+		// Stats are cumulative: Reset clears the value, never the totals.
+		c.Reset()
+		if got := p.Stats(); got != s {
+			t.Fatalf("Reset changed stats:\nbefore %+v\nafter  %+v", s, got)
+		}
+	})
+}
+
+// TestStatsConsistentDuringWakeStorm hammers Stats() concurrently with
+// waiters parking and increments waking them (run under -race in CI).
+// Every snapshot must satisfy the documented invariants — wake tallies
+// never exceed the satisfied-level count — and successive snapshots must
+// be monotone, since the counters are cumulative. This is the
+// regression test for the inconsistent-snapshot bug where satisfies
+// were published under the mutex but the wake tallies were read
+// un-ordered against them.
+func TestStatsConsistentDuringWakeStorm(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c Interface) {
+		p := c.(StatsProvider)
+		const (
+			waiters    = 60
+			increments = 300
+		)
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			level := uint64(1 + i*(increments/waiters)) // spread across the increment range
+			useCtx := i%2 == 1
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if useCtx {
+					if err := c.CheckContext(context.Background(), level); err != nil {
+						t.Errorf("CheckContext(%d) = %v, want nil", level, err)
+					}
+				} else {
+					c.Check(level)
+				}
+			}()
+		}
+
+		// Let the whole crowd park before the increments start, so the
+		// wake storm (the interesting window for snapshots) actually
+		// overlaps the Stats hammering below.
+		pollStats(t, p, "storm waiters suspended", func(s Stats) bool { return s.Suspends >= waiters })
+
+		stop := make(chan struct{})
+		var snapErr atomic.Pointer[string]
+		fail := func(format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			snapErr.CompareAndSwap(nil, &msg)
+		}
+		var snapWG sync.WaitGroup
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			var prev Stats
+			for {
+				s := p.Stats()
+				if s.Broadcasts > s.SatisfiedLevels {
+					fail("snapshot has Broadcasts %d > SatisfiedLevels %d: %+v", s.Broadcasts, s.SatisfiedLevels, s)
+					return
+				}
+				if s.ChannelCloses > s.SatisfiedLevels {
+					fail("snapshot has ChannelCloses %d > SatisfiedLevels %d: %+v", s.ChannelCloses, s.SatisfiedLevels, s)
+					return
+				}
+				if s.PeakLevels < prev.PeakLevels || s.SatisfiedLevels < prev.SatisfiedLevels ||
+					s.Broadcasts < prev.Broadcasts || s.ChannelCloses < prev.ChannelCloses ||
+					s.Suspends < prev.Suspends || s.ImmediateChecks < prev.ImmediateChecks ||
+					s.Increments < prev.Increments || s.SpinRounds < prev.SpinRounds ||
+					s.FastPathIncrements < prev.FastPathIncrements || s.Flushes < prev.Flushes {
+					fail("cumulative stats went backwards:\nprev %+v\nnow  %+v", prev, s)
+					return
+				}
+				prev = s
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+
+		for i := 0; i < increments; i++ {
+			c.Increment(1)
+		}
+		wg.Wait()
+		close(stop)
+		snapWG.Wait()
+		if msg := snapErr.Load(); msg != nil {
+			t.Fatal(*msg)
+		}
+
+		// With the storm fully drained the wake tallies have caught up:
+		// every waiter resumed, so the final snapshot accounts for every
+		// wake the satisfied levels required.
+		final := p.Stats()
+		if final.Suspends < waiters {
+			t.Errorf("final Suspends = %d, want >= %d", final.Suspends, waiters)
+		}
+		if final.Increments != increments {
+			t.Errorf("final Increments = %d, want %d", final.Increments, increments)
+		}
+	})
+}
+
+// TestProbeObservesEvents installs a probe on every engine-based
+// implementation and checks the three event kinds fire with the right
+// levels, in order, outside every counter lock (the probe calls Stats
+// itself — a deadlock here would hang the test), and that SetProbe(nil)
+// disables the hook.
+func TestProbeObservesEvents(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			ps, ok := c.(ProbeSetter)
+			if !ok {
+				if impl == ImplChan {
+					t.Skip("ChanCounter is stats-only: no engine to hang a probe on")
+				}
+				t.Fatalf("%s does not satisfy ProbeSetter", impl)
+			}
+			p := c.(StatsProvider)
+			var mu sync.Mutex
+			events := map[EventKind][]uint64{}
+			ps.SetProbe(func(e Event) {
+				_ = p.Stats() // probes run outside all counter locks; this must not deadlock
+				mu.Lock()
+				events[e.Kind] = append(events[e.Kind], e.Level)
+				mu.Unlock()
+			})
+
+			c.Increment(3)
+			done := make(chan struct{})
+			go func() { c.Check(10); close(done) }()
+			pollStats(t, p, "probe-test waiter suspended", func(s Stats) bool { return s.Suspends == 1 })
+			c.Increment(7)
+			<-done
+
+			mu.Lock()
+			incs := append([]uint64(nil), events[EventIncrement]...)
+			suspends := append([]uint64(nil), events[EventSuspend]...)
+			wakes := append([]uint64(nil), events[EventWake]...)
+			mu.Unlock()
+			if len(incs) != 2 || incs[0] != 3 || incs[1] != 7 {
+				t.Fatalf("EventIncrement amounts = %v, want [3 7]", incs)
+			}
+			if len(suspends) != 1 || suspends[0] != 10 {
+				t.Fatalf("EventSuspend levels = %v, want [10]", suspends)
+			}
+			if len(wakes) != 1 || wakes[0] != 10 {
+				t.Fatalf("EventWake levels = %v, want [10]", wakes)
+			}
+
+			ps.SetProbe(nil)
+			c.Increment(1)
+			mu.Lock()
+			n := len(events[EventIncrement])
+			mu.Unlock()
+			if n != 2 {
+				t.Fatalf("probe fired after SetProbe(nil): %d increment events, want 2", n)
+			}
+		})
+	}
+}
+
+// TestSpinSetSpinsEncoding pins the SetSpins contract: zero means no
+// spinning (it used to silently mean "restore default", making a zero
+// budget unexpressible), negative restores the default, and the zero
+// value still defaults.
+func TestSpinSetSpinsEncoding(t *testing.T) {
+	c := NewSpin()
+	if got := c.budget(); got != defaultSpins {
+		t.Fatalf("zero-value budget = %d, want default %d", got, defaultSpins)
+	}
+	c.SetSpins(0)
+	if got := c.budget(); got != 0 {
+		t.Fatalf("budget after SetSpins(0) = %d, want 0", got)
+	}
+	c.SetSpins(-1)
+	if got := c.budget(); got != defaultSpins {
+		t.Fatalf("budget after SetSpins(-1) = %d, want default %d", got, defaultSpins)
+	}
+	c.SetSpins(3)
+	if got := c.budget(); got != 3 {
+		t.Fatalf("budget after SetSpins(3) = %d, want 3", got)
+	}
+}
+
+// TestSpinZeroBudgetSuspendsWithoutSpinning is the regression test for
+// the SetSpins(0) fix: a zero-budget Check must take the blocking path
+// directly, with no Gosched probe loop — observable as SpinRounds
+// staying zero while the waiter is parked. The second half pins the
+// SpinRounds tally itself: a budget-3 spin phase records exactly 3
+// probes before parking.
+func TestSpinZeroBudgetSuspendsWithoutSpinning(t *testing.T) {
+	c := NewSpin()
+	c.SetSpins(0)
+	done := make(chan struct{})
+	go func() { c.Check(5); close(done) }()
+	pollStats(t, c, "zero-budget waiter parked", func(s Stats) bool { return s.Suspends == 1 })
+	if s := c.Stats(); s.SpinRounds != 0 {
+		t.Fatalf("SpinRounds = %d with a zero spin budget, want 0", s.SpinRounds)
+	}
+	c.Increment(5)
+	<-done
+
+	c.SetSpins(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(ctx, 99) }()
+	pollStats(t, c, "budget-3 waiter parked", func(s Stats) bool { return s.Suspends == 2 })
+	if s := c.Stats(); s.SpinRounds != 3 {
+		t.Fatalf("SpinRounds = %d after a budget-3 spin phase, want 3", s.SpinRounds)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("CheckContext after cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestShardedNeverSilentlyWraps is the regression test for the corrected
+// overflow story: shard stripes are not stable per goroutine (stacks
+// move), so the guarantee is that overflow is caught at a fold point —
+// either an increment that diverts through the locked path, or the
+// checkedAdd in the next flush or sum. Concurrent incrementers on
+// different stacks spread across cells; whichever way their residues
+// assemble, the counter must panic rather than wrap.
+func TestShardedNeverSilentlyWraps(t *testing.T) {
+	c := NewSharded()
+	c.Increment(^uint64(0) - 100) // locked path: amount exceeds a cell's residue cap
+
+	var incPanics atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 11; i++ { // 11 * 10 = 110 > the 100 of headroom left
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					incPanics.Add(1)
+				}
+			}()
+			c.Increment(10)
+		}()
+	}
+	wg.Wait()
+	if incPanics.Load() > 0 {
+		return // overflow caught at an increment's locked fold
+	}
+	// Every increment landed in a cell: the residues now assemble past
+	// uint64 range, and the next sum must catch it.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing sum did not panic")
+		}
+	}()
+	t.Fatalf("Value() = %d: counter silently wrapped", c.Value())
+}
+
+// TestShardedFastPathStats pins the packed-cell tallies: gate-free
+// increments are counted exactly (even before any flush), a waiter's
+// flush folds them without loss, and Flushes counts the fold passes.
+func TestShardedFastPathStats(t *testing.T) {
+	c := NewSharded()
+	for i := 0; i < 100; i++ {
+		c.Increment(1)
+	}
+	s := c.Stats()
+	if s.Increments != 100 || s.FastPathIncrements != 100 {
+		t.Fatalf("after 100 gate-free increments: Increments=%d FastPathIncrements=%d, want 100/100", s.Increments, s.FastPathIncrements)
+	}
+	if s.Flushes != 0 {
+		t.Fatalf("Flushes = %d with no waiter ever registered, want 0", s.Flushes)
+	}
+
+	done := make(chan struct{})
+	go func() { c.Check(150); close(done) }()
+	pollStats(t, c, "sharded waiter parked", func(st Stats) bool { return st.Suspends == 1 })
+	c.Increment(50) // gate is up: exact locked path
+	<-done
+	s = c.Stats()
+	if s.Flushes == 0 {
+		t.Fatal("Flushes = 0 after a waiter registered, want > 0")
+	}
+	if s.Increments != 101 || s.FastPathIncrements != 100 {
+		t.Fatalf("after locked increment: Increments=%d FastPathIncrements=%d, want 101/100", s.Increments, s.FastPathIncrements)
+	}
+	if v := c.Value(); v != 150 {
+		t.Fatalf("Value() = %d, want 150", v)
+	}
+}
+
+// TestShardedCellCountCap drives one cell past its 16-bit increment
+// count: the capped cell must divert to the locked path (a flush) and
+// the totals must stay exact — the packed encoding never drops counts.
+func TestShardedCellCountCap(t *testing.T) {
+	c := NewSharded()
+	const n = cellCountMask + 2000 // forces at least one count-cap divert
+	for i := 0; i < n; i++ {
+		c.Increment(1)
+	}
+	if v := c.Value(); v != n {
+		t.Fatalf("Value() = %d, want %d", v, n)
+	}
+	s := c.Stats()
+	if s.Increments != n {
+		t.Fatalf("Increments = %d, want %d", s.Increments, n)
+	}
+	if s.FastPathIncrements > s.Increments {
+		t.Fatalf("FastPathIncrements = %d > Increments = %d", s.FastPathIncrements, s.Increments)
+	}
+	if s.Flushes == 0 {
+		t.Fatal("Flushes = 0: the count cap never folded the cell")
+	}
+}

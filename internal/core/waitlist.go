@@ -122,62 +122,162 @@ type waitlist struct {
 	// the record resets to empty when the last drainer leaves.
 	draining  []*waitNode
 	drainLive int
+
+	// stats is the unified cost-model collector shared by every
+	// engine-based implementation (see Stats in stats.go).
+	stats engineStats
+	// probe is the pluggable event hook; nil means disabled. Stored as
+	// a pointer so enable/disable is one atomic store and the disabled
+	// check is one atomic load. Never invoked under w.mu or a node's
+	// wake lock.
+	probe atomic.Pointer[func(Event)]
+}
+
+// engineStats is the collector behind the unified Stats schema. The
+// locked fields change only under the engine mutex, where the events
+// they count happen anyway, so counting them is free of extra
+// synchronization; the wake-side tallies are bumped by the incrementer
+// after it releases the mutex (re-locking just to count would put the
+// engine mutex back on the wake path), so they are atomics.
+type engineStats struct {
+	// Guarded by the engine mutex.
+	liveLevels      int // not-yet-satisfied nodes currently indexed
+	peakLevels      int
+	satisfiedLevels uint64
+	suspends        uint64
+	immediateChecks uint64
+	increments      uint64
+
+	// Wake-side tallies, updated out of lock by wakeBatch.
+	broadcasts    atomic.Uint64
+	channelCloses atomic.Uint64
+}
+
+// readStats assembles a consistent snapshot. The wake-side atomics are
+// loaded BEFORE the mutex-guarded fields: a wake is issued only after
+// its level's satisfy was recorded under the mutex, so reading wakes
+// first guarantees every counted wake's satisfy is included in the
+// locked read that follows — the documented Broadcasts <=
+// SatisfiedLevels / ChannelCloses <= SatisfiedLevels invariant. (Read
+// the other way round, a wake landing between the two reads could be
+// counted while its satisfy was not.)
+func (w *waitlist) readStats() Stats {
+	b := w.stats.broadcasts.Load()
+	cl := w.stats.channelCloses.Load()
+	w.mu.Lock()
+	s := w.lockedStats()
+	w.mu.Unlock()
+	s.Broadcasts, s.ChannelCloses = b, cl
+	return s
+}
+
+// lockedStats copies the mutex-guarded portion of the collector. Called
+// with w.mu held; the caller fills the wake-side tallies (loaded before
+// locking — see readStats) and any implementation-specific fields.
+func (w *waitlist) lockedStats() Stats {
+	return Stats{
+		PeakLevels:      w.stats.peakLevels,
+		SatisfiedLevels: w.stats.satisfiedLevels,
+		Suspends:        w.stats.suspends,
+		ImmediateChecks: w.stats.immediateChecks,
+		Increments:      w.stats.increments,
+	}
+}
+
+// SetProbe installs (or, with nil, removes) the event hook.
+func (w *waitlist) SetProbe(f func(Event)) {
+	if f == nil {
+		w.probe.Store(nil)
+		return
+	}
+	w.probe.Store(&f)
+}
+
+// emit invokes the probe if one is installed. Never called with w.mu or
+// a node wake lock held; when no probe is set this is one atomic load.
+func (w *waitlist) emit(kind EventKind, level uint64) {
+	if p := w.probe.Load(); p != nil {
+		(*p)(Event{Kind: kind, Level: level})
+	}
 }
 
 // join registers the caller as a waiter on the node for level, creating
 // and indexing a new node if none is live. Called with w.mu held; the
-// caller must already have established level > value.
+// caller must already have established level > value. Every join is a
+// suspend in the cost model (the caller is committed to blocking), and
+// a created node is a new live level, so both tallies live here — the
+// mutex is already held for the registration itself.
 func (w *waitlist) join(idx levelIndex, level uint64) *waitNode {
-	n, _ := idx.acquire(w, level)
+	n, created := idx.acquire(w, level)
 	n.count.Add(1)
+	w.stats.suspends++
+	if created {
+		w.stats.liveLevels++
+		if w.stats.liveLevels > w.stats.peakLevels {
+			w.stats.peakLevels = w.stats.liveLevels
+		}
+	}
 	return n
 }
 
 // satisfyLocked marks n satisfied and records it as draining. Called
 // with w.mu held by the implementation's Increment, which must already
 // have unlinked n from its index; the actual wake-up is wakeBatch,
-// after w.mu is released.
+// after w.mu is released. Each call is one satisfied level — the
+// paper's cost unit — and one fewer live waited-on level.
 func (w *waitlist) satisfyLocked(n *waitNode) {
 	n.set.Store(true)
 	n.drainIdx = len(w.draining)
 	w.draining = append(w.draining, n)
 	w.drainLive++
+	w.stats.satisfiedLevels++
+	w.stats.liveLevels--
 }
 
 // wakeBatch wakes every waiter parked on the batch — a chain of
 // satisfied nodes linked through their next pointers, which the caller
 // owns exclusively now that the nodes have left the index. Channel
 // selecters wake by closing ready, condvar sleepers by broadcasting;
-// the return values report how many closes and broadcasts were
-// actually issued. Called WITHOUT w.mu: this is the point of the
-// design. The caller (one incrementer) holds only each node's wake
-// lock, briefly, one node at a time, so a slow scheduler dispatching
-// thousands of wake-ups never stalls joiners, other incrementers, or
-// waiters on other levels. The chain links are severed on the way
-// through.
-func (w *waitlist) wakeBatch(head *waitNode) (closes, broadcasts int) {
+// the closes/broadcasts tallies go straight into the collector's
+// atomics (the corresponding satisfies were already recorded under the
+// mutex, so snapshots see wakes only after their satisfies — the Stats
+// invariant). Called WITHOUT w.mu: this is the point of the design. The
+// caller (one incrementer) holds only each node's wake lock, briefly,
+// one node at a time, so a slow scheduler dispatching thousands of
+// wake-ups never stalls joiners, other incrementers, or waiters on
+// other levels. The chain links are severed on the way through, and the
+// probe sees one EventWake per level, after that level's wake lock is
+// released.
+func (w *waitlist) wakeBatch(head *waitNode) {
 	for n := head; n != nil; {
 		next := n.next
 		n.next = nil
 		n.mu.Lock()
-		if n.ready != nil {
+		closed := n.ready != nil
+		if closed {
 			close(n.ready)
-			closes++
 		}
-		if n.sleepers > 0 {
+		bcast := n.sleepers > 0
+		if bcast {
 			n.cond.Broadcast()
-			broadcasts++
 		}
 		n.mu.Unlock()
+		if closed {
+			w.stats.channelCloses.Add(1)
+		}
+		if bcast {
+			w.stats.broadcasts.Add(1)
+		}
+		w.emit(EventWake, n.level)
 		n = next
 	}
-	return closes, broadcasts
 }
 
 // wait blocks on the node's condition variable until it is satisfied —
 // the plain Check slow path. Called without any lock held (the caller
 // released w.mu after join); returns with no lock held.
 func (w *waitlist) wait(n *waitNode) {
+	w.emit(EventSuspend, n.level)
 	n.mu.Lock()
 	for !n.set.Load() {
 		n.sleepers++
@@ -193,6 +293,7 @@ func (w *waitlist) wait(n *waitNode) {
 // If the node is satisfied by the time the cancellation is observed,
 // waitCtx reports nil: a satisfied level beats a cancelled context.
 func (w *waitlist) waitCtx(ctx context.Context, n *waitNode) error {
+	w.emit(EventSuspend, n.level)
 	n.mu.Lock()
 	if n.set.Load() {
 		n.mu.Unlock()
@@ -253,6 +354,7 @@ func (w *waitlist) cleanupLocked(idx levelIndex, n *waitNode) {
 		w.removeDraining(n)
 	} else {
 		idx.drop(n)
+		w.stats.liveLevels--
 	}
 }
 
@@ -287,9 +389,6 @@ func (w *waitlist) busyLocked() bool {
 // is exactly the set of live waited-on levels.
 type listIndex struct {
 	head *waitNode
-	// live mirrors the list length so PeakLevels tracking is O(1)
-	// instead of a full rescan per insertion.
-	live int
 }
 
 // acquire finds or splices in the node for level with a single walk.
@@ -304,7 +403,6 @@ func (l *listIndex) acquire(w *waitlist, level uint64) (*waitNode, bool) {
 	n := newWaitNode(level)
 	n.next = *p
 	*p = n
-	l.live++
 	return n, true
 }
 
@@ -313,7 +411,6 @@ func (l *listIndex) drop(n *waitNode) {
 		if *p == n {
 			*p = n.next
 			n.next = nil
-			l.live--
 			return
 		}
 	}
@@ -337,7 +434,6 @@ func (l *listIndex) popSatisfied(value uint64) (head *waitNode, k int) {
 	}
 	l.head = last.next
 	last.next = nil
-	l.live -= k
 	return head, k
 }
 

@@ -116,6 +116,18 @@ func (c *Counter) Reset() { c.inner.Reset() }
 // Value implements core.Interface.
 func (c *Counter) Value() uint64 { return c.inner.Value() }
 
+// Engine returns the wrapped implementation's own cost-model stats (the
+// unified core.Stats schema) when it provides them, pairing the
+// wrapper's wall-clock view (wait times, concurrency) with the
+// engine-level event counts for the same run. ok is false for
+// implementations outside the registry that report no stats.
+func (c *Counter) Engine() (s core.Stats, ok bool) {
+	if p, isProvider := c.inner.(core.StatsProvider); isProvider {
+		return p.Stats(), true
+	}
+	return core.Stats{}, false
+}
+
 // Stats returns a snapshot of the recorded activity.
 func (c *Counter) Stats() Stats {
 	c.mu.Lock()

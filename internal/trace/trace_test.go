@@ -87,3 +87,22 @@ func TestMeanWaitEmpty(t *testing.T) {
 		t.Fatal("MeanWait on empty stats")
 	}
 }
+
+// engineless is a minimal counter with no Stats, for the Engine ok=false path.
+type engineless struct{ core.Interface }
+
+func TestEngineStatsExposed(t *testing.T) {
+	c := New(core.New())
+	c.Increment(3)
+	c.Check(2)
+	es, ok := c.Engine()
+	if !ok {
+		t.Fatal("Engine() ok = false for a registry implementation")
+	}
+	if es.Increments != 1 || es.ImmediateChecks != 1 {
+		t.Fatalf("engine stats = %+v, want Increments=1 ImmediateChecks=1", es)
+	}
+	if _, ok := New(engineless{core.New()}).Engine(); ok {
+		t.Fatal("Engine() ok = true for a wrapper that hides Stats")
+	}
+}
