@@ -1,0 +1,81 @@
+// Command counterd serves named monotonic counters over TCP, so
+// goroutines in different processes — or on different machines —
+// synchronize through the same counters. Clients connect with
+// counter/remote, whose counters implement the same counter.Interface
+// as the in-process types:
+//
+//	cl, err := remote.Dial("host:7667")
+//	c := cl.Counter("pipeline-stage-1")
+//	c.Increment(1)      // any process
+//	c.Check(1000)       // any other process
+//
+// Counters are created on first reference and live for the lifetime of
+// the process; the protocol (internal/wire) is retry-safe, so clients
+// ride over connection loss transparently. See docs/PATTERNS.md,
+// "Counters across processes".
+//
+// Usage:
+//
+//	counterd                    # listen on :7667
+//	counterd -addr 0.0.0.0:900  # another address
+//	counterd -expvar :8123      # also serve /debug/vars for scraping
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"monotonic/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7667", "TCP address to serve counters on")
+		expvarAddr = flag.String("expvar", "", "optional HTTP address for /debug/vars (empty: disabled)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "counterd: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "counterd: %v\n", err)
+		os.Exit(1)
+	}
+	if *expvarAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*expvarAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "counterd: expvar: %v\n", err)
+			}
+		}()
+	}
+
+	srv := server.New()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "counterd: serving counters on %s\n", lis.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "counterd: %v, shutting down\n", s)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "counterd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

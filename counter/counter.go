@@ -1,7 +1,9 @@
 // Package counter provides monotonic counters, the thread-synchronization
 // mechanism of Thornley and Chandy ("Monotonic Counters: A New Mechanism
 // for Thread Synchronization", IPPS 2000). It is the public face of this
-// repository; the implementations live in internal/core.
+// repository; the implementations live in internal/core, and every
+// counter in this module — including the networked one in
+// counter/remote — presents the same Interface.
 //
 // A Counter has a nonnegative value, initially zero, that only ever
 // increases. Increment(amount) atomically adds to it; Check(level) blocks
@@ -35,6 +37,15 @@
 // value: a decision based on a momentary value would reintroduce the
 // timing races counters exist to eliminate.
 //
+// # Choosing an implementation
+//
+// Counter (the paper's reference design) and Sharded (write-optimized)
+// are the two tuned implementations with their own types. Open selects
+// any implementation from the internal registry by name — including the
+// ablation designs used by the experiments — behind the same Interface,
+// and counter/remote provides the same Interface over a counterd server
+// for cross-process synchronization.
+//
 // # Cancellation semantics
 //
 // CheckContext and WaitTimeout extend the paper with a way to stop
@@ -65,9 +76,6 @@
 package counter
 
 import (
-	"context"
-	"time"
-
 	"monotonic/internal/core"
 )
 
@@ -75,48 +83,13 @@ import (
 // value zero. A Counter must not be copied after first use.
 //
 // Counter embeds the reference implementation from the paper's section 7:
-// a mutex plus an ordered list of per-level waiter nodes, each with its own
-// condition variable.
+// a mutex plus an ordered list of per-level waiter nodes, each with its
+// own condition variable. Its full method set — Increment, Check,
+// CheckContext, WaitTimeout, Reset, Stats, SetProbe — is the shared
+// facade; see Interface for the contract.
 type Counter struct {
-	c core.Counter
+	facade[core.Counter, *core.Counter]
 }
 
 // New returns a new counter with value zero. Equivalent to new(Counter).
 func New() *Counter { return new(Counter) }
-
-// Increment atomically increases the counter's value by amount, waking
-// every goroutine suspended on a level the new value satisfies.
-// Increment(0) is a no-op. Increment panics if the value would overflow
-// uint64, since wrap-around would violate monotonicity.
-func (c *Counter) Increment(amount uint64) { c.c.Increment(amount) }
-
-// Check suspends the calling goroutine until the counter's value is at
-// least level. If the value already satisfies level, Check returns
-// immediately. Because the value is monotonic, once Check(level) would
-// pass it passes forever: there is no race to observe a transient state.
-func (c *Counter) Check(level uint64) { c.c.Check(level) }
-
-// CheckContext is Check with cancellation: it returns nil once the value
-// reaches level, or ctx.Err() if the context is cancelled first. An
-// already-satisfied level wins over an already-cancelled context, and
-// cancellation does not perturb the counter or spawn any goroutine; see
-// the package documentation's cancellation semantics. This is an
-// extension beyond the paper.
-func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
-	return c.c.CheckContext(ctx, level)
-}
-
-// WaitTimeout is Check bounded by a timeout, reporting whether the level
-// was reached. A satisfied level beats an expired deadline: even with a
-// zero or negative timeout, WaitTimeout reports true when the value
-// already satisfies level. An extension beyond the paper.
-func (c *Counter) WaitTimeout(level uint64, d time.Duration) bool {
-	return core.WaitTimeout(&c.c, level, d)
-}
-
-// Reset sets the value back to zero so the counter can be reused between
-// phases of an algorithm. Per the paper (section 2), Reset must not be
-// called concurrently with any other operation on the counter; it panics
-// if goroutines are suspended on the counter. Reset is a convenience, not
-// a synchronization operation.
-func (c *Counter) Reset() { c.c.Reset() }

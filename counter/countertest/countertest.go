@@ -1,0 +1,308 @@
+// Package countertest is the black-box conformance suite for
+// counter.Interface: every behavior the interface documents — monotone
+// waiting, satisfied-beats-cancelled, cancellation leaving no trace (no
+// goroutine, no registration), Reset's misuse panic — expressed purely
+// through the interface, so the same battery runs against every
+// in-process implementation (via counter.Open) and against a remote
+// counter talking to a counterd server. An implementation that passes
+// Run is interchangeable with the others behind the facade.
+package countertest
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+)
+
+// Run executes the full conformance battery as subtests of t. open must
+// return a fresh counter with value zero on every call; each subtest
+// opens its own so failures do not cascade.
+func Run(t *testing.T, open func(t *testing.T) counter.Interface) {
+	t.Helper()
+	t.Run("DataflowOrdering", func(t *testing.T) { testDataflowOrdering(t, open(t)) })
+	t.Run("ImmediateCheck", func(t *testing.T) { testImmediateCheck(t, open(t)) })
+	t.Run("SatisfiedBeatsCancelled", func(t *testing.T) { testSatisfiedBeatsCancelled(t, open(t)) })
+	t.Run("CancelDelivery", func(t *testing.T) { testCancelDelivery(t, open(t)) })
+	t.Run("WaitTimeout", func(t *testing.T) { testWaitTimeout(t, open(t)) })
+	t.Run("FanOutOneIncrementManyLevels", func(t *testing.T) { testFanOut(t, open(t)) })
+	t.Run("Reset", func(t *testing.T) { testReset(t, open(t)) })
+	t.Run("ResetPanicsUnderWaiters", func(t *testing.T) { testResetPanics(t, open(t)) })
+	t.Run("CancelStorm", func(t *testing.T) { testCancelStorm(t, open(t)) })
+	t.Run("NoGoroutinePerWait", func(t *testing.T) { testNoGoroutinePerWait(t, open(t)) })
+}
+
+// testDataflowOrdering is the paper's core use: a writer publishing a
+// sequence through the counter to concurrent readers, each of which must
+// observe every prefix it checked for.
+func testDataflowOrdering(t *testing.T, c counter.Interface) {
+	const (
+		items   = 200
+		readers = 8
+	)
+	data := make([]uint64, items)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				c.Check(uint64(i) + 1)
+				if got := data[i]; got != uint64(i)*3 {
+					t.Errorf("reader passed Check(%d) but data[%d] = %d, want %d", i+1, i, got, i*3)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		data[i] = uint64(i) * 3
+		c.Increment(1)
+	}
+	wg.Wait()
+}
+
+func testImmediateCheck(t *testing.T, c counter.Interface) {
+	c.Check(0) // level zero is always satisfied
+	c.Increment(7)
+	c.Check(7)
+	c.Check(3)
+	if err := c.CheckContext(context.Background(), 7); err != nil {
+		t.Fatalf("CheckContext(satisfied) = %v, want nil", err)
+	}
+}
+
+// testSatisfiedBeatsCancelled pins the first cancellation rule: an
+// already-satisfied level wins over an already-dead context, at both the
+// CheckContext and WaitTimeout surfaces.
+func testSatisfiedBeatsCancelled(t *testing.T, c counter.Interface) {
+	c.Increment(7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, level := range []uint64{0, 1, 7} {
+		if err := c.CheckContext(ctx, level); err != nil {
+			t.Errorf("CheckContext(cancelled, level=%d) = %v with value 7, want nil", level, err)
+		}
+		if !c.WaitTimeout(level, 0) {
+			t.Errorf("WaitTimeout(level=%d, 0) = false with value 7", level)
+		}
+	}
+	if err := c.CheckContext(ctx, 8); err != context.Canceled {
+		t.Errorf("CheckContext(cancelled, level=8) = %v with value 7, want Canceled", err)
+	}
+	if c.WaitTimeout(8, 0) {
+		t.Error("WaitTimeout(level=8, 0) = true with value 7")
+	}
+}
+
+// testCancelDelivery parks a real waiter, cancels it, and requires the
+// context error back; the counter must stay fully usable afterwards and
+// a later increment must not try to wake the departed waiter.
+func testCancelDelivery(t *testing.T, c counter.Interface) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(ctx, 50) }()
+	time.Sleep(20 * time.Millisecond) // let it park
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("CheckContext = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled CheckContext never returned")
+	}
+	c.Increment(60)
+	c.Check(50)
+}
+
+func testWaitTimeout(t *testing.T, c counter.Interface) {
+	if c.WaitTimeout(1, 10*time.Millisecond) {
+		t.Fatal("WaitTimeout(1) = true on a zero counter")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- c.WaitTimeout(5, 10*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	c.Increment(5)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitTimeout(5, 10s) = false after Increment(5)")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitTimeout never returned after satisfaction")
+	}
+}
+
+// testFanOut satisfies many distinct levels with one increment — the
+// wake path must deliver every entitled waiter, whatever batching it
+// does internally.
+func testFanOut(t *testing.T, c counter.Interface) {
+	const waiters = 100
+	var wg sync.WaitGroup
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(lv uint64) {
+			defer wg.Done()
+			c.Check(lv)
+		}(uint64(i))
+	}
+	time.Sleep(50 * time.Millisecond) // let most of them park
+	c.Increment(waiters)
+	donec := make(chan struct{})
+	go func() { wg.Wait(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fan-out waiters still blocked after a satisfying increment")
+	}
+}
+
+func testReset(t *testing.T, c counter.Interface) {
+	c.Increment(9)
+	c.Check(9)
+	c.Reset()
+	if c.WaitTimeout(1, 10*time.Millisecond) {
+		t.Fatal("WaitTimeout(1) = true right after Reset: value not zeroed")
+	}
+	c.Increment(2)
+	c.Check(2)
+}
+
+// testResetPanics pins the misuse contract: Reset with a waiter
+// suspended must panic rather than strand the waiter below a rolled-back
+// value. The waiter is then cancelled and Reset retried until the
+// deregistration settles (remote counters resolve it asynchronously).
+func testResetPanics(t *testing.T, c counter.Interface) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(ctx, 77) }()
+	time.Sleep(50 * time.Millisecond) // let it suspend
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset with a suspended waiter did not panic")
+			}
+		}()
+		c.Reset()
+	}()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("CheckContext = %v, want Canceled", err)
+	}
+	// After the sole waiter cancels, Reset must eventually succeed.
+	deadline := time.After(5 * time.Second)
+	for {
+		if ok := func() (ok bool) {
+			defer func() { ok = recover() == nil }()
+			c.Reset()
+			return
+		}(); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Reset still panics after the only waiter cancelled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// testCancelStorm interleaves timed-out waits with real increments: no
+// entitled waiter may be lost in the churn.
+func testCancelStorm(t *testing.T, c counter.Interface) {
+	const (
+		increments = 200
+		cancellers = 8
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < cancellers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				lv := uint64((seed*53+j*17)%(2*increments)) + 1
+				c.WaitTimeout(lv, time.Duration(j%5)*100*time.Microsecond)
+			}
+		}(i)
+	}
+	survivor := make(chan error, 1)
+	go func() { survivor <- c.CheckContext(context.Background(), increments) }()
+	for i := 0; i < increments; i++ {
+		c.Increment(1)
+	}
+	wg.Wait()
+	select {
+	case err := <-survivor:
+		if err != nil {
+			t.Fatalf("survivor CheckContext = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor still blocked after all increments")
+	}
+}
+
+// testNoGoroutinePerWait is the engine's structural guarantee at the
+// interface surface: a storm of cancelled and timed-out waits must
+// settle the process back to its pre-storm goroutine count — no watcher
+// goroutine per call, nothing left behind by cancellation. (Remote
+// counters additionally keep the *server* flat; the remote package's
+// fan-out test and experiment E22 assert that side.)
+func testNoGoroutinePerWait(t *testing.T, c counter.Interface) {
+	c.Increment(1) // settle any lazily-started machinery into the baseline
+	c.Check(1)
+	baseline := runtime.NumGoroutine()
+	const waiters = 64
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				_ = c.CheckContext(ctx, uint64(1_000_000+i))
+			case 1:
+				c.WaitTimeout(uint64(1_000_000+i), 0)
+			default:
+				c.WaitTimeout(uint64(1_000_000+i), time.Microsecond)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	c.Increment(1) // the counter must still work after the storm
+	c.Check(2)
+	deadline := time.After(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+var freshMu sync.Mutex
+var freshN int
+
+// FreshName returns a process-unique counter name with the given prefix,
+// for suites whose counters are named (remote counters share a server;
+// every open must get a counter nothing else has touched).
+func FreshName(prefix string) string {
+	freshMu.Lock()
+	defer freshMu.Unlock()
+	freshN++
+	return fmt.Sprintf("%s-%d", prefix, freshN)
+}

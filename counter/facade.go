@@ -1,0 +1,86 @@
+package counter
+
+import (
+	"context"
+	"time"
+
+	"monotonic/internal/core"
+)
+
+// coreImpl constrains the facade to pointer types that implement the
+// full internal counter contract. Every implementation in the core
+// registry qualifies; probes are optional (ChanCounter has no engine to
+// hook) and are routed through a type assertion in SetProbe.
+type coreImpl[T any] interface {
+	*T
+	core.Interface
+	core.StatsProvider
+}
+
+// facade is the one wrapper every public counter type embeds: it holds
+// the core implementation by value (so the zero value of the outer type
+// is a ready-to-use counter, with no constructor and no indirection)
+// and adapts the internal contract to the public Interface. Exposing a
+// new in-process implementation is a type declaration embedding this
+// struct plus its godoc — about ten lines (see Counter and Sharded).
+//
+// Deliberately NOT exported: the public surface is the named types and
+// Interface; the wrapper is how they stay in lockstep.
+type facade[T any, P coreImpl[T]] struct {
+	c T
+}
+
+func (f *facade[T, P]) impl() P { return P(&f.c) }
+
+// Increment atomically increases the counter's value by amount, waking
+// every goroutine suspended on a level the new value satisfies.
+// Increment(0) is a no-op. Increment panics if the value would overflow
+// uint64, since wrap-around would violate monotonicity.
+func (f *facade[T, P]) Increment(amount uint64) { f.impl().Increment(amount) }
+
+// Check suspends the calling goroutine until the counter's value is at
+// least level. If the value already satisfies level, Check returns
+// immediately. Because the value is monotonic, once Check(level) would
+// pass it passes forever: there is no race to observe a transient state.
+func (f *facade[T, P]) Check(level uint64) { f.impl().Check(level) }
+
+// CheckContext is Check with cancellation: it returns nil once the value
+// reaches level, or ctx.Err() if the context is cancelled first. An
+// already-satisfied level wins over an already-cancelled context, and
+// cancellation does not perturb the counter or spawn any goroutine; see
+// the package documentation's cancellation semantics. This is an
+// extension beyond the paper.
+func (f *facade[T, P]) CheckContext(ctx context.Context, level uint64) error {
+	return f.impl().CheckContext(ctx, level)
+}
+
+// WaitTimeout is Check bounded by a timeout, reporting whether the level
+// was reached. A satisfied level beats an expired deadline: even with a
+// zero or negative timeout, WaitTimeout reports true when the value
+// already satisfies level. An extension beyond the paper.
+func (f *facade[T, P]) WaitTimeout(level uint64, d time.Duration) bool {
+	return core.WaitTimeout(f.impl(), level, d)
+}
+
+// Reset sets the value back to zero so the counter can be reused between
+// phases of an algorithm. Per the paper (section 2), Reset must not be
+// called concurrently with any other operation on the counter; it panics
+// if goroutines are suspended on the counter. Reset is a convenience,
+// not a synchronization operation.
+func (f *facade[T, P]) Reset() { f.impl().Reset() }
+
+// Stats returns the counter's cumulative cost statistics.
+func (f *facade[T, P]) Stats() Stats { return statsFromCore(f.impl().Stats()) }
+
+// SetProbe installs fn as the counter's event hook: it observes
+// increment/suspend/wake events until replaced, and nil disables it.
+// When disabled the hook costs one atomic load per operation; fn is
+// never invoked while the counter's locks are held, so it may itself
+// call Stats. Probes are for tracing and metrics — synchronization
+// decisions must never be based on them. Implementations without an
+// engine-side hook (the chan ablation) ignore probes.
+func (f *facade[T, P]) SetProbe(fn func(Event)) {
+	if ps, ok := any(f.impl()).(core.ProbeSetter); ok {
+		ps.SetProbe(fn)
+	}
+}

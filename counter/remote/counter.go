@@ -1,0 +1,299 @@
+package remote
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/internal/wire"
+)
+
+// Counter is a named monotonic counter hosted by a counterd server,
+// obtained from Client.Counter. It implements the same counter.Interface
+// as the in-process types, with the same semantics: monotone value,
+// satisfied-beats-cancelled, cancellation never perturbs the counter,
+// Reset panics under suspended waiters (the server refuses and the
+// client relays the refusal as a panic). Counters with the same name
+// across clients are one counter.
+//
+// Cost model on the wire: Increment is fire-and-forget (pipelined and
+// batched, no per-call round trip); a Check whose level the client has
+// already observed satisfied returns immediately with no wire traffic
+// at all — monotonicity means a level seen satisfied once is satisfied
+// forever, so the client keeps a local watermark. Only a genuinely
+// blocking wait costs a round trip, and any number of outstanding waits
+// share the client's two goroutines.
+type Counter struct {
+	cl   *Client
+	name string
+
+	// known is the client-local satisfied watermark: the highest level
+	// this client has proof the hosted value reached (via wakes and
+	// stats replies). Safe precisely because the value is monotonic.
+	known atomic.Uint64
+
+	immediate atomic.Uint64 // checks satisfied by the watermark
+	suspends  atomic.Uint64 // checks that went to the wire
+	rtts      atomic.Uint64 // completed wire exchanges
+	waitNanos atomic.Uint64 // wall-clock nanoseconds blocked on the wire
+
+	probe      atomic.Pointer[func(counter.Event)]
+	lastStatsP atomic.Pointer[lastStats]
+}
+
+// The remote counter is interchangeable with the in-process ones.
+var (
+	_ counter.Interface     = (*Counter)(nil)
+	_ counter.StatsProvider = (*Counter)(nil)
+)
+
+// noteSatisfied raises the satisfied watermark to level (never lowers
+// it — concurrent observations may arrive out of order).
+func (c *Counter) noteSatisfied(level uint64) {
+	for {
+		cur := c.known.Load()
+		if level <= cur || c.known.CompareAndSwap(cur, level) {
+			return
+		}
+	}
+}
+
+func (c *Counter) emit(kind counter.EventKind, level uint64) {
+	if p := c.probe.Load(); p != nil {
+		(*p)(counter.Event{Kind: kind, Level: level})
+	}
+}
+
+// Increment atomically increases the hosted counter's value by amount,
+// waking every waiter — in any process — whose level the new value
+// satisfies. The frame is pipelined: Increment returns as soon as it is
+// queued, and a later Check on the same client observes it because the
+// server applies a session's frames in order. The increment survives
+// reconnects exactly once (sequence-numbered, deduplicated
+// server-side). If the server rejects an increment (uint64 overflow,
+// the same programming error that panics in-process), the client
+// latches the error and the next operation panics.
+func (c *Counter) Increment(amount uint64) {
+	c.cl.checkFatal()
+	if amount == 0 {
+		return
+	}
+	cl := c.cl
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		panic(ErrClosed.Error())
+	}
+	cl.nextSeq++
+	cl.pending = append(cl.pending, pendingInc{seq: cl.nextSeq, name: c.name, amount: amount})
+	cl.enqueueLocked(&wire.Frame{Op: wire.OpIncrement, Name: c.name, Seq: cl.nextSeq, Amount: amount})
+	cl.mu.Unlock()
+	c.emit(counter.EventIncrement, amount)
+}
+
+// Check suspends the caller until the hosted value is at least level.
+// A level this client has already seen satisfied returns immediately
+// without touching the network.
+func (c *Counter) Check(level uint64) {
+	if err := <-c.CheckChan(level); err != nil {
+		panic(err.Error()) // only ErrClosed: the client was torn down under us
+	}
+}
+
+// CheckContext is Check with cancellation: nil once the value reaches
+// level, ctx.Err() if the context wins. A satisfied level beats a
+// cancelled context — even when the wake and the cancellation race on
+// the wire, the server resolves the race and the client honors its
+// answer. Cancellation deregisters the server-side waiter, so an
+// abandoned level costs nothing in any process. It returns ErrClosed if
+// the client is closed while waiting.
+func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
+	if level <= c.known.Load() {
+		c.immediate.Add(1)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Cheap pre-check only: a satisfied level must beat a cancelled
+		// context, and satisfied state lives on the server, so ask.
+		return c.checkCancelled(level, err)
+	}
+	ch, w := c.checkChan(level)
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return c.cancelWait(w, ctx.Err())
+	}
+}
+
+// WaitTimeout is Check bounded by a timeout, reporting whether the
+// level was reached; a satisfied level beats an expired deadline.
+func (c *Counter) WaitTimeout(level uint64, d time.Duration) bool {
+	if level <= c.known.Load() {
+		c.immediate.Add(1)
+		return true
+	}
+	if d <= 0 {
+		return c.checkCancelled(level, context.DeadlineExceeded) == nil
+	}
+	ch, w := c.checkChan(level)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-ch:
+		if err != nil {
+			panic(err.Error()) // only ErrClosed
+		}
+		return true
+	case <-t.C:
+		return c.cancelWait(w, context.DeadlineExceeded) == nil
+	}
+}
+
+// CheckChan is the asynchronous form of Check: it registers the wait
+// and returns a channel that receives exactly one value — nil once the
+// hosted value reaches level, or ErrClosed if the client is closed
+// first. It exists so one goroutine can hold any number of outstanding
+// waits (the fan-out experiment E22 parks thousands of waits from a
+// handful of goroutines); Check and CheckContext are built on it.
+func (c *Counter) CheckChan(level uint64) <-chan error {
+	if level <= c.known.Load() {
+		c.immediate.Add(1)
+		ch := make(chan error, 1)
+		ch <- nil
+		return ch
+	}
+	ch, _ := c.checkChan(level)
+	return ch
+}
+
+// checkChan registers a wire-level wait and returns its resolution
+// channel plus the wait record (for cancellation).
+func (c *Counter) checkChan(level uint64) (chan error, *wait) {
+	cl := c.cl
+	cl.mu.Lock()
+	if cl.fatal != nil {
+		fatal := cl.fatal
+		cl.mu.Unlock()
+		panic(fatal.Error())
+	}
+	if cl.closed {
+		cl.mu.Unlock()
+		ch := make(chan error, 1)
+		ch <- ErrClosed
+		return ch, nil
+	}
+	cl.nextID++
+	w := &wait{id: cl.nextID, level: level, ctr: c, start: time.Now(), ch: make(chan error, 1)}
+	cl.waits[w.id] = w
+	cl.enqueueLocked(&wire.Frame{Op: wire.OpCheck, Name: c.name, ID: w.id, Level: level})
+	cl.mu.Unlock()
+	c.suspends.Add(1)
+	c.emit(counter.EventSuspend, level)
+	return w.ch, w
+}
+
+// cancelWait asks the server to deregister w, then blocks until the
+// server resolves the race: OpCancelled (the wait was still pending →
+// ctxErr) or OpWake (satisfaction was already in flight → nil). If the
+// link is down, reconnect resolves pending-cancelled waits locally. The
+// caller's context error is recorded first so every path agrees on it.
+func (c *Counter) cancelWait(w *wait, ctxErr error) error {
+	if w == nil { // registration hit a closed client; ch already resolved
+		return ErrClosed
+	}
+	cl := c.cl
+	cl.mu.Lock()
+	if _, live := cl.waits[w.id]; !live {
+		// Resolution already delivered (or in the channel buffer).
+		cl.mu.Unlock()
+		return <-w.ch
+	}
+	w.cancelled = true
+	w.ctxErr = ctxErr
+	cl.enqueueLocked(&wire.Frame{Op: wire.OpCancel, ID: w.id})
+	cl.mu.Unlock()
+	return <-w.ch
+}
+
+// checkCancelled serves the "context already cancelled" path: satisfied
+// must still beat cancelled, so it registers the wait and immediately
+// races a cancel against it, returning nil only if the server wakes it.
+func (c *Counter) checkCancelled(level uint64, ctxErr error) error {
+	_, w := c.checkChan(level)
+	return c.cancelWait(w, ctxErr)
+}
+
+// Reset sets the hosted value back to zero for reuse between phases. As
+// in-process, it must not run concurrently with other operations on the
+// counter — from any client — and panics if waiters are suspended on it
+// (the server refuses the reset and the panic relays its reason).
+func (c *Counter) Reset() {
+	c.cl.checkFatal()
+	f, err := c.cl.roundTrip(wire.Frame{Op: wire.OpReset, Name: c.name}, 0)
+	if err != nil {
+		panic("remote: reset: " + err.Error())
+	}
+	c.rtts.Add(1)
+	if f.Op == wire.OpError {
+		panic("remote: reset: " + f.Msg)
+	}
+	// The hosted value is zero again; this client's satisfied watermark
+	// must restart with it or stale immediate Checks would lie.
+	c.known.Store(0)
+}
+
+// statsTimeout bounds the Stats round trip so expvar scrapes degrade to
+// a cached snapshot instead of hanging when the server is unreachable.
+const statsTimeout = 2 * time.Second
+
+// lastStats caches the most recent server snapshot for the timeout path.
+type lastStats struct {
+	s wire.Stats
+}
+
+// Stats reports the hosted counter's engine measurements — the shared
+// schema fields describe the server-side counter that every client
+// session contributes to — plus this client's Remote* wire
+// measurements. If the server cannot answer within two seconds the last
+// snapshot it did give is reused (zeroes before the first), so an
+// expvar scrape never wedges on a dead link.
+func (c *Counter) Stats() counter.Stats {
+	var ws wire.Stats
+	f, err := c.cl.roundTrip(wire.Frame{Op: wire.OpStats, Name: c.name}, statsTimeout)
+	if err == nil && f.Op == wire.OpStatsReply {
+		ws = f.Stats
+		c.rtts.Add(1)
+		c.lastStatsP.Store(&lastStats{s: ws})
+	} else if last := c.lastStatsP.Load(); last != nil {
+		ws = last.s
+	}
+	return counter.Stats{
+		PeakLevels:         int(ws.PeakLevels),
+		SatisfiedLevels:    ws.SatisfiedLevels,
+		Broadcasts:         ws.Broadcasts,
+		ChannelCloses:      ws.ChannelCloses,
+		Suspends:           ws.Suspends,
+		ImmediateChecks:    ws.ImmediateChecks,
+		Increments:         ws.Increments,
+		FastPathIncrements: ws.FastPathIncrements,
+		Flushes:            ws.Flushes,
+		RemoteRoundTrips:   c.rtts.Load(),
+		RemoteWaitNanos:    c.waitNanos.Load(),
+	}
+}
+
+// SetProbe installs fn to observe this client's operations on the
+// counter: EventIncrement per local Increment call, EventSuspend per
+// wait that goes to the wire, EventWake per wake received. Events are
+// client-local (the server aggregates all sessions; see Stats for that
+// view). fn must be fast and must not call back into the counter;
+// SetProbe(nil) removes the probe.
+func (c *Counter) SetProbe(fn func(counter.Event)) {
+	if fn == nil {
+		c.probe.Store(nil)
+		return
+	}
+	c.probe.Store(&fn)
+}

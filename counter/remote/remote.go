@@ -1,0 +1,469 @@
+// Package remote provides monotonic counters that live in a counterd
+// server (cmd/counterd, internal/server), so goroutines in different
+// processes — or on different machines — synchronize on the same levels.
+// A remote Counter implements exactly the counter.Interface contract;
+// code written against it cannot tell local from remote, and
+// counter.Publish exports a remote counter's stats unchanged.
+//
+// The paper's monotonicity argument is what makes this safe to put on a
+// wire: a counter's value only grows, so a Check can be re-sent after a
+// reconnect without risk (it cannot observe a smaller value), and the
+// only retry hazard is applying an Increment twice. Increments therefore
+// carry per-session sequence numbers and the server deduplicates, so the
+// client's resend-after-reconnect discipline preserves exactly-once
+// application. See docs/PATTERNS.md, "Counters across processes".
+//
+// One Client multiplexes any number of named counters and outstanding
+// waits over a single TCP connection with two goroutines total (a reader
+// and a write flusher) — never a goroutine per blocked wait, mirroring
+// the in-process engine's discipline. Increments pipeline: they are
+// fire-and-forget frames batched into the next flush, and a following
+// Check observes them in order because the server applies frames in
+// arrival order.
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/internal/wire"
+)
+
+// ErrClosed is reported by operations on a Client that has been Closed:
+// CheckContext returns it (in place of blocking forever on a connection
+// that will never come back); operations that cannot report an error
+// panic with it.
+var ErrClosed = errors.New("remote: client closed")
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithDialer replaces the transport dialer (default: TCP with a 5s
+// timeout). Tests use it to interpose failing links; production can use
+// it for TLS or unix sockets.
+func WithDialer(d func(addr string) (net.Conn, error)) Option {
+	return func(cl *Client) { cl.dial = d }
+}
+
+// Client is one session with a counterd server. It is safe for
+// concurrent use by any number of goroutines; all counters obtained
+// from it share its connection. On connection failure the client
+// reconnects with exponential backoff and resumes: it re-sends its
+// unacknowledged increments (the server deduplicates by sequence
+// number) and re-registers its outstanding waits (idempotent by
+// monotonicity), so callers just block across the outage.
+type Client struct {
+	addr string
+	dial func(addr string) (net.Conn, error)
+
+	mu        sync.Mutex
+	flushCond *sync.Cond
+	nc        net.Conn
+	bw        *bufio.Writer
+	br        *bufio.Reader
+	scratch   []byte
+	dirty     bool
+	closed    bool
+	fatal     error // latched increment-overflow error; poisons the client
+
+	session  uint64
+	nextSeq  uint64
+	nextID   uint64
+	pending  []pendingInc // increments sent but not yet acknowledged, ascending by seq
+	waits    map[uint64]*wait
+	calls    map[uint64]*call
+	counters map[string]*Counter
+
+	wg sync.WaitGroup
+}
+
+type pendingInc struct {
+	seq    uint64
+	name   string
+	amount uint64
+}
+
+// wait is one outstanding Check/CheckContext/CheckChan registration.
+type wait struct {
+	id    uint64
+	level uint64
+	ctr   *Counter
+	start time.Time
+	// ch resolves the wait: nil for a wake, the recorded context error
+	// for a cancellation, ErrClosed if the client closes. Buffered so
+	// the reader never blocks delivering.
+	ch chan error
+	// cancelled records that the waiter asked to cancel; ctxErr is what
+	// to resolve with if the server confirms (or the connection dies).
+	cancelled bool
+	ctxErr    error
+}
+
+// call is one outstanding request/reply exchange (Reset, Stats). The
+// frame is kept for resend across reconnects; both are idempotent.
+type call struct {
+	id    uint64
+	frame wire.Frame
+	ch    chan callResult
+}
+
+type callResult struct {
+	f   wire.Frame
+	err error
+}
+
+// Dial connects to a counterd server and performs the session
+// handshake. The returned client holds one connection and two
+// goroutines regardless of how many counters and waits it multiplexes.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cl := &Client{
+		addr: addr,
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		},
+		waits:    make(map[uint64]*wait),
+		calls:    make(map[uint64]*call),
+		counters: make(map[string]*Counter),
+	}
+	cl.flushCond = sync.NewCond(&cl.mu)
+	for _, o := range opts {
+		o(cl)
+	}
+	if err := cl.connect(); err != nil {
+		return nil, err
+	}
+	cl.wg.Add(2)
+	go cl.readLoop()
+	go cl.flushLoop()
+	return cl, nil
+}
+
+// connect dials, handshakes, installs the new connection, and replays
+// session state (unacknowledged increments, outstanding waits and
+// calls). Called from Dial and from the reader's reconnect loop.
+func (cl *Client) connect() error {
+	cl.mu.Lock()
+	sess := cl.session
+	cl.mu.Unlock()
+
+	nc, err := cl.dial(cl.addr)
+	if err != nil {
+		return err
+	}
+	hello := wire.Append(nil, &wire.Frame{Op: wire.OpHello, Session: sess, Seq: wire.Version})
+	if _, err := nc.Write(hello); err != nil {
+		nc.Close()
+		return err
+	}
+	br := bufio.NewReader(nc)
+	welcome, err := wire.Read(br)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	if welcome.Op != wire.OpWelcome {
+		nc.Close()
+		return fmt.Errorf("remote: handshake reply %s, want welcome", welcome.Op)
+	}
+
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		nc.Close()
+		return ErrClosed
+	}
+	cl.nc, cl.br, cl.bw = nc, br, bufio.NewWriter(nc)
+	cl.session = welcome.Session
+
+	// Everything the server already applied can be forgotten; the rest
+	// is re-sent in order and deduplicated server-side by sequence.
+	trimmed := cl.pending[:0]
+	for _, p := range cl.pending {
+		if p.seq > welcome.Seq {
+			trimmed = append(trimmed, p)
+		}
+	}
+	cl.pending = trimmed
+	for _, p := range cl.pending {
+		cl.enqueueLocked(&wire.Frame{Op: wire.OpIncrement, Name: p.name, Seq: p.seq, Amount: p.amount})
+	}
+	// Waits whose cancellation was requested while the link was down
+	// resolve now as cancelled; live waits re-register (re-sending the
+	// requested level is harmless: the value is monotonic).
+	for id, w := range cl.waits {
+		if w.cancelled {
+			delete(cl.waits, id)
+			w.ctr.rtts.Add(1)
+			w.ch <- w.ctxErr
+			continue
+		}
+		cl.enqueueLocked(&wire.Frame{Op: wire.OpCheck, Name: w.ctr.name, ID: w.id, Level: w.level})
+	}
+	for _, rc := range cl.calls {
+		cl.enqueueLocked(&rc.frame)
+	}
+	return nil
+}
+
+// Close tears the session down: the connection is closed, both client
+// goroutines retire, and every outstanding wait and call resolves with
+// ErrClosed. Increments not yet acknowledged by the server may or may
+// not have been applied — Close abandons the session's exactly-once
+// tracking.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	if cl.nc != nil {
+		cl.nc.Close()
+	}
+	for id, w := range cl.waits {
+		delete(cl.waits, id)
+		w.ch <- ErrClosed
+	}
+	for id, rc := range cl.calls {
+		delete(cl.calls, id)
+		rc.ch <- callResult{err: ErrClosed}
+	}
+	cl.flushCond.Broadcast()
+	cl.mu.Unlock()
+	cl.wg.Wait()
+	return nil
+}
+
+// Counter returns the named counter hosted by the server, creating it
+// server-side on first use. Counters with the same name from any client
+// are the same counter. The name must be 1..wire.MaxName bytes.
+func (cl *Client) Counter(name string) *Counter {
+	if name == "" || len(name) > wire.MaxName {
+		panic(fmt.Sprintf("remote: bad counter name %q", name))
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	c, ok := cl.counters[name]
+	if !ok {
+		c = &Counter{cl: cl, name: name}
+		cl.counters[name] = c
+	}
+	return c
+}
+
+// enqueueLocked appends f to the connection's write buffer and nudges
+// the flusher. With the link down it is a no-op: state replay at
+// reconnect is the source of truth, not the buffer. Callers hold cl.mu.
+func (cl *Client) enqueueLocked(f *wire.Frame) {
+	if cl.nc == nil {
+		return
+	}
+	cl.scratch = wire.Append(cl.scratch[:0], f)
+	cl.bw.Write(cl.scratch) // errors latch in bw; the reader notices the dead link
+	cl.dirty = true
+	cl.flushCond.Signal()
+}
+
+// flushLoop coalesces queued frames: every signal flushes whatever has
+// accumulated, so a burst of increments or cancels becomes one write.
+func (cl *Client) flushLoop() {
+	defer cl.wg.Done()
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for {
+		for !cl.dirty && !cl.closed {
+			cl.flushCond.Wait()
+		}
+		if cl.closed {
+			return
+		}
+		cl.dirty = false
+		if cl.bw != nil {
+			cl.bw.Flush() // errors latch; the reader notices and reconnects
+		}
+	}
+}
+
+// readLoop dispatches server frames and drives reconnection.
+func (cl *Client) readLoop() {
+	defer cl.wg.Done()
+	for {
+		cl.mu.Lock()
+		br := cl.br
+		closed := cl.closed
+		cl.mu.Unlock()
+		if closed {
+			return
+		}
+		f, err := wire.Read(br)
+		if err != nil {
+			if !cl.reconnect() {
+				return
+			}
+			continue
+		}
+		cl.dispatch(&f)
+	}
+}
+
+// reconnect re-establishes the session with exponential backoff,
+// reporting false once the client is closed.
+func (cl *Client) reconnect() bool {
+	cl.mu.Lock()
+	if cl.nc != nil {
+		cl.nc.Close()
+		cl.nc, cl.bw, cl.br = nil, nil, nil
+	}
+	cl.mu.Unlock()
+	backoff := 5 * time.Millisecond
+	for {
+		cl.mu.Lock()
+		closed := cl.closed
+		cl.mu.Unlock()
+		if closed {
+			return false
+		}
+		if err := cl.connect(); err == nil {
+			return true
+		} else if errors.Is(err, ErrClosed) {
+			return false
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// dispatch routes one server frame to the wait or call it resolves.
+func (cl *Client) dispatch(f *wire.Frame) {
+	switch f.Op {
+	case wire.OpWake:
+		cl.mu.Lock()
+		w := cl.waits[f.ID]
+		delete(cl.waits, f.ID)
+		cl.mu.Unlock()
+		if w != nil {
+			w.ctr.noteSatisfied(f.Level)
+			w.ctr.rtts.Add(1)
+			w.ctr.waitNanos.Add(uint64(time.Since(w.start)))
+			w.ctr.emit(counter.EventWake, f.Level)
+			w.ch <- nil
+		}
+	case wire.OpCancelled:
+		cl.mu.Lock()
+		w := cl.waits[f.ID]
+		delete(cl.waits, f.ID)
+		cl.mu.Unlock()
+		if w != nil {
+			w.ctr.rtts.Add(1)
+			w.ch <- w.ctxErr
+		}
+	case wire.OpIncAck:
+		cl.mu.Lock()
+		acked := map[*Counter]bool{}
+		trimmed := cl.pending[:0]
+		for _, p := range cl.pending {
+			if p.seq <= f.Seq {
+				acked[cl.counters[p.name]] = true
+			} else {
+				trimmed = append(trimmed, p)
+			}
+		}
+		cl.pending = trimmed
+		cl.mu.Unlock()
+		for c := range acked {
+			if c != nil {
+				c.rtts.Add(1)
+			}
+		}
+	case wire.OpResetOK, wire.OpStatsReply:
+		cl.resolveCall(f.ID, callResult{f: *f})
+	case wire.OpError:
+		cl.mu.Lock()
+		rc := cl.calls[f.ID]
+		delete(cl.calls, f.ID)
+		if rc == nil {
+			// Not a call reply: the server rejected an increment (the
+			// only fire-and-forget op that can fail — overflow). That is
+			// a caller bug exactly like the in-process panic, but it
+			// surfaces asynchronously, so latch it and panic the next
+			// operation.
+			if cl.fatal == nil {
+				cl.fatal = errors.New("remote: " + f.Msg)
+			}
+		}
+		cl.mu.Unlock()
+		if rc != nil {
+			rc.ch <- callResult{f: *f}
+		}
+	}
+}
+
+func (cl *Client) resolveCall(id uint64, r callResult) {
+	cl.mu.Lock()
+	rc := cl.calls[id]
+	delete(cl.calls, id)
+	cl.mu.Unlock()
+	if rc != nil {
+		rc.ch <- r
+	}
+}
+
+// roundTrip performs one request/reply exchange, blocking until the
+// server answers (re-sent across reconnects), the timeout lapses (zero
+// means none), or the client closes.
+func (cl *Client) roundTrip(f wire.Frame, timeout time.Duration) (wire.Frame, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return wire.Frame{}, ErrClosed
+	}
+	cl.nextID++
+	f.ID = cl.nextID
+	rc := &call{id: f.ID, frame: f, ch: make(chan callResult, 1)}
+	cl.calls[f.ID] = rc
+	cl.enqueueLocked(&f)
+	cl.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case r := <-rc.ch:
+		return r.f, r.err
+	case <-timer:
+		cl.mu.Lock()
+		delete(cl.calls, rc.id)
+		cl.mu.Unlock()
+		select {
+		case r := <-rc.ch: // resolution raced the timeout; take it
+			return r.f, r.err
+		default:
+		}
+		return wire.Frame{}, fmt.Errorf("remote: %s timed out after %v", f.Op, timeout)
+	}
+}
+
+// checkFatal panics if a previous pipelined operation was rejected by
+// the server (increment overflow) or the client is closed — the remote
+// analogue of the in-process programming-error panics.
+func (cl *Client) checkFatal() {
+	cl.mu.Lock()
+	fatal, closed := cl.fatal, cl.closed
+	cl.mu.Unlock()
+	if fatal != nil {
+		panic(fatal.Error())
+	}
+	if closed {
+		panic(ErrClosed.Error())
+	}
+}

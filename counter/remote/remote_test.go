@@ -1,0 +1,340 @@
+package remote_test
+
+import (
+	"context"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/counter/countertest"
+	"monotonic/counter/remote"
+	"monotonic/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New()
+	go s.Serve(lis)
+	t.Cleanup(func() { s.Close() })
+	return lis.Addr().String()
+}
+
+func dialClient(t *testing.T, addr string) *remote.Client {
+	t.Helper()
+	cl, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestConformance runs the exact black-box battery the in-process
+// implementations pass — including cancellation semantics and the
+// goroutine-leak check — against remote counters on a loopback counterd.
+// Server and client run in this process, so the goroutine accounting
+// covers both sides of the wire.
+func TestConformance(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	countertest.Run(t, func(t *testing.T) counter.Interface {
+		return cl.Counter(countertest.FreshName("conf"))
+	})
+}
+
+// TestCountersAreShared pins the point of the whole subsystem: two
+// clients, same name, one counter.
+func TestCountersAreShared(t *testing.T) {
+	addr := startServer(t)
+	a := dialClient(t, addr)
+	b := dialClient(t, addr)
+	name := countertest.FreshName("shared")
+	done := make(chan struct{})
+	go func() {
+		b.Counter(name).Check(3)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Counter(name).Increment(3)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("b never observed a's increments")
+	}
+}
+
+// proxy is a TCP relay with a kill switch, so tests can sever the
+// client-server link mid-stream without either endpoint cooperating.
+type proxy struct {
+	lis    net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns []net.Conn
+	down  bool
+}
+
+func startProxy(t *testing.T, target string) *proxy {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proxy{lis: lis, target: target}
+	t.Cleanup(func() { lis.Close(); p.kill() })
+	go p.run()
+	return p
+}
+
+func (p *proxy) run() {
+	for {
+		in, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		out, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			in.Close()
+			out.Close()
+			continue
+		}
+		p.conns = append(p.conns, in, out)
+		p.mu.Unlock()
+		go func() { io.Copy(out, in); in.Close(); out.Close() }()
+		go func() { io.Copy(in, out); in.Close(); out.Close() }()
+	}
+}
+
+// kill severs every live relay; new dials keep working (reconnects land
+// on fresh pipes) unless setDown(true) was called first.
+func (p *proxy) kill() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestReconnectExactlyOnce is the acceptance test for retry-safe resume:
+// a writer pushes N increments while the link is killed repeatedly, a
+// reader Checks every level; the final value must be exactly N — every
+// increment applied, none applied twice.
+func TestReconnectExactlyOnce(t *testing.T) {
+	addr := startServer(t)
+	p := startProxy(t, addr)
+	cl := dialClient(t, p.lis.Addr().String())
+	name := countertest.FreshName("exact")
+	c := cl.Counter(name)
+
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reader: blocked Checks must survive the kills too
+		defer wg.Done()
+		for lv := uint64(50); lv <= n; lv += 50 {
+			c.Check(lv)
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		c.Increment(1)
+		if i%100 == 0 {
+			p.kill() // sever mid-pipeline; unacked tail must be re-sent
+			time.Sleep(time.Millisecond)
+		}
+	}
+	c.Check(n) // every increment eventually applies (none lost)
+	wg.Wait()
+
+	// None applied twice: a fresh client straight to the server (no
+	// proxy, no shared session) must see the value still below n+1.
+	direct := dialClient(t, addr)
+	if direct.Counter(name).WaitTimeout(n+1, 300*time.Millisecond) {
+		t.Fatalf("value exceeded %d: some increment was applied twice across reconnects", n)
+	}
+}
+
+// TestBlockedCheckSurvivesReconnect kills the link while a Check is the
+// only outstanding operation; the re-registered wait must still resolve.
+func TestBlockedCheckSurvivesReconnect(t *testing.T) {
+	addr := startServer(t)
+	p := startProxy(t, addr)
+	cl := dialClient(t, p.lis.Addr().String())
+	c := cl.Counter(countertest.FreshName("surv"))
+
+	done := make(chan struct{})
+	go func() { c.Check(10); close(done) }()
+	time.Sleep(30 * time.Millisecond) // wait reaches the server
+	p.kill()
+	time.Sleep(30 * time.Millisecond) // client notices, reconnects, re-registers
+
+	other := dialClient(t, addr) // satisfy through the back door
+	other.Counter("surv-none").Increment(0)
+	c.Increment(10)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Check lost across reconnect")
+	}
+}
+
+// TestCancelAcrossDeadLink cancels a wait while the link is down: the
+// reconnect path must resolve it with the context error, not strand it.
+func TestCancelAcrossDeadLink(t *testing.T) {
+	addr := startServer(t)
+	p := startProxy(t, addr)
+	cl := dialClient(t, p.lis.Addr().String())
+	c := cl.Counter(countertest.FreshName("cdl"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(ctx, 99) }()
+	time.Sleep(30 * time.Millisecond)
+	p.kill()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("CheckContext across dead link = %v, want Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled CheckContext never resolved across the dead link")
+	}
+}
+
+// TestFanOutNoGoroutinePerWait registers thousands of waits through the
+// async CheckChan API — client and server in one process — and asserts
+// the total goroutine count stays flat: no goroutine per wait on either
+// side of the wire. This is the in-test twin of experiment E22's bound.
+func TestFanOutNoGoroutinePerWait(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	c := cl.Counter(countertest.FreshName("fan"))
+	c.Increment(1)
+	c.Check(1) // settle both sides' machinery into the baseline
+
+	const waits = 2000
+	baseline := runtime.NumGoroutine()
+	chans := make([]<-chan error, waits)
+	for i := range chans {
+		chans[i] = c.CheckChan(uint64(i + 2))
+	}
+	// Fence: a round trip through the same pipeline proves the server has
+	// registered everything sent before it.
+	c.Increment(1)
+	c.Check(2)
+	if n := runtime.NumGoroutine(); n > baseline+4 {
+		t.Fatalf("goroutines = %d with %d outstanding remote waits (baseline %d)", n, waits, baseline)
+	}
+	c.Increment(waits)
+	for i, ch := range chans {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("wait %d resolved with %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("wait %d (level %d) never woke", i, i+2)
+		}
+	}
+}
+
+// TestStats pins the split schema: shared fields come from the hosted
+// engine (all sessions aggregated), Remote* fields are client-local.
+func TestStats(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	c := cl.Counter(countertest.FreshName("stats"))
+	c.Increment(4)
+	c.Check(4)
+	done := make(chan struct{})
+	go func() { c.Check(9); close(done) }()
+	time.Sleep(30 * time.Millisecond)
+	c.Increment(5)
+	<-done
+
+	s := c.Stats()
+	if s.Increments != 2 {
+		t.Errorf("Stats.Increments = %d, want 2 (server-side engine count)", s.Increments)
+	}
+	if s.RemoteRoundTrips == 0 {
+		t.Error("Stats.RemoteRoundTrips = 0 after resolved waits and acks")
+	}
+	if s.RemoteWaitNanos == 0 {
+		t.Error("Stats.RemoteWaitNanos = 0 after a genuinely blocked Check")
+	}
+	if s.Broadcasts > s.SatisfiedLevels {
+		t.Errorf("invariant violated: Broadcasts %d > SatisfiedLevels %d", s.Broadcasts, s.SatisfiedLevels)
+	}
+
+	// counter.Publish works unchanged on a remote counter.
+	counter.Publish(countertest.FreshName("expvar"), c)
+}
+
+// TestIncrementOverflowPoisonsClient pins the remote analogue of the
+// in-process overflow panic: the rejection arrives asynchronously, so
+// the *next* operation panics.
+func TestIncrementOverflowPoisonsClient(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	c := cl.Counter(countertest.FreshName("ovf"))
+	c.Increment(^uint64(0) - 1)
+	c.Check(^uint64(0) - 1) // the poison frame, if any, is ordered before this wake
+	c.Increment(5)          // overflows server-side
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			c.Increment(1)
+			return
+		}()
+		if panicked {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never poisoned after server rejected an overflowing increment")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseResolvesWaiters pins ErrClosed delivery: Close must unblock
+// outstanding CheckContext calls with ErrClosed rather than strand them.
+func TestCloseResolvesWaiters(t *testing.T) {
+	addr := startServer(t)
+	cl, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cl.Counter("close-wait")
+	errc := make(chan error, 1)
+	go func() { errc <- c.CheckContext(context.Background(), 100) }()
+	time.Sleep(30 * time.Millisecond)
+	cl.Close()
+	select {
+	case err := <-errc:
+		if err != remote.ErrClosed {
+			t.Fatalf("CheckContext after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CheckContext never unblocked on Close")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

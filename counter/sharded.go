@@ -1,9 +1,6 @@
 package counter
 
 import (
-	"context"
-	"time"
-
 	"monotonic/internal/core"
 )
 
@@ -15,51 +12,23 @@ import (
 // exact locked wake path of Counter and keeps every semantic guarantee —
 // wake-ups by level, satisfied-beats-cancelled, no goroutine per
 // cancellable wait — then resumes the striped fast path when the last
-// waiter leaves.
+// waiter leaves. An overflow assembled across stripes is detected no
+// later than the next flush or waiting Check; the counter never silently
+// wraps.
 //
 // Prefer Counter when waits are frequent relative to increments (the
 // classic dataflow patterns); prefer Sharded when increments dominate —
 // high-rate progress publication, fan-in completion counting, metrics
 // that occasionally gate a consumer. See docs/PATTERNS.md ("Write-heavy
-// counters") for the protocol.
+// counters") for the protocol. Its method set is the shared facade; see
+// Interface for the contract.
 //
 // The zero value is ready to use with value zero. A Sharded must not be
 // copied after first use.
 type Sharded struct {
-	c core.ShardedCounter
+	facade[core.ShardedCounter, *core.ShardedCounter]
 }
 
 // NewSharded returns a new write-optimized counter with value zero.
 // Equivalent to new(Sharded).
 func NewSharded() *Sharded { return new(Sharded) }
-
-// Increment atomically increases the counter's value by amount, waking
-// every goroutine suspended on a level the new value satisfies.
-// Increment(0) is a no-op. Increment panics if the value would overflow
-// uint64, since wrap-around would violate monotonicity; an overflow
-// assembled across stripes is detected no later than the next flush or
-// waiting Check.
-func (c *Sharded) Increment(amount uint64) { c.c.Increment(amount) }
-
-// Check suspends the calling goroutine until the counter's value is at
-// least level. If the value already satisfies level, Check returns
-// immediately without taking any lock.
-func (c *Sharded) Check(level uint64) { c.c.Check(level) }
-
-// CheckContext is Check with cancellation; it follows the same
-// cancellation semantics as Counter.CheckContext (see the package
-// documentation).
-func (c *Sharded) CheckContext(ctx context.Context, level uint64) error {
-	return c.c.CheckContext(ctx, level)
-}
-
-// WaitTimeout is Check bounded by a timeout, reporting whether the level
-// was reached. A satisfied level beats an expired deadline.
-func (c *Sharded) WaitTimeout(level uint64, d time.Duration) bool {
-	return core.WaitTimeout(&c.c, level, d)
-}
-
-// Reset sets the value back to zero so the counter can be reused between
-// phases. Reset must not be called concurrently with any other operation
-// on the counter; it panics if goroutines are suspended on the counter.
-func (c *Sharded) Reset() { c.c.Reset() }

@@ -2,6 +2,8 @@ package counter
 
 import (
 	"expvar"
+	"sync"
+	"sync/atomic"
 
 	"monotonic/internal/core"
 )
@@ -17,6 +19,11 @@ import (
 // a wake storm and catch up once the storm's wake-ups finish. See
 // docs/PATTERNS.md ("Observing a counter in production") for how to read
 // each field against the cost model.
+//
+// A remote counter (counter/remote) reports the server-side engine's
+// values for the shared fields — they describe the hosted counter, which
+// every client session contributes to — plus the Remote* fields, which
+// are client-local wall-clock measurements of the wire itself.
 type Stats struct {
 	// PeakLevels is the maximum number of distinct not-yet-satisfied
 	// levels ever waited on at once — the paper's storage bound.
@@ -44,6 +51,16 @@ type Stats struct {
 	FastPathIncrements uint64
 	// Flushes counts Sharded's stripe-flush passes. Zero for Counter.
 	Flushes uint64
+	// RemoteRoundTrips counts completed wire exchanges a remote counter
+	// performed on the caller's behalf: resolved waits (wakes and
+	// cancel acknowledgements), increment acknowledgements, and
+	// stats/reset replies. Zero for in-process counters.
+	RemoteRoundTrips uint64
+	// RemoteWaitNanos accumulates wall-clock nanoseconds remote
+	// Check/CheckContext calls spent blocked on the wire — the
+	// client-side latency counterpart of Suspends. Zero for in-process
+	// counters.
+	RemoteWaitNanos uint64
 }
 
 func statsFromCore(s core.Stats) Stats {
@@ -60,19 +77,14 @@ func statsFromCore(s core.Stats) Stats {
 	}
 }
 
-// StatsProvider is satisfied by both counter types (and anything else
-// that reports counter stats); Publish exports any provider.
+// StatsProvider is satisfied by every counter in this module (and
+// anything else that reports counter stats); Publish exports any
+// provider.
 type StatsProvider interface {
 	Stats() Stats
 }
 
-// Stats returns the counter's cumulative cost statistics.
-func (c *Counter) Stats() Stats { return statsFromCore(c.c.Stats()) }
-
-// Stats returns the counter's cumulative cost statistics.
-func (c *Sharded) Stats() Stats { return statsFromCore(c.c.Stats()) }
-
-// Event is one probe observation; see SetProbe.
+// Event is one probe observation; see SetProbe on any counter type.
 type Event = core.Event
 
 // EventKind discriminates probe events.
@@ -91,22 +103,50 @@ const (
 	EventWake = core.EventWake
 )
 
-// SetProbe installs f as the counter's event hook: it observes
-// increment/suspend/wake events until replaced, and nil disables it.
-// When disabled the hook costs one atomic load per operation; f is never
-// invoked while the counter's locks are held, so it may itself call
-// Stats. Probes are for tracing and metrics — synchronization decisions
-// must never be based on them.
-func (c *Counter) SetProbe(f func(Event)) { c.c.SetProbe(f) }
-
-// SetProbe installs f as the counter's event hook; see Counter.SetProbe.
-func (c *Sharded) SetProbe(f func(Event)) { c.c.SetProbe(f) }
+// published tracks the expvar names this package owns, each holding a
+// swappable provider, so Publish can replace a counter under a name it
+// registered before instead of inheriting expvar.Publish's panic.
+var published struct {
+	sync.Mutex
+	m map[string]*atomic.Pointer[StatsProvider]
+}
 
 // Publish registers p's stats with package expvar under the given name,
 // so they appear (live, as a JSON object) on the standard /debug/vars
-// endpoint. Each read of the variable takes a fresh snapshot. Like
-// expvar.Publish, it panics if name is already registered; call it once
-// per counter, at setup.
+// endpoint. Each read of the variable takes a fresh snapshot.
+//
+// Calling Publish again with a name it has already registered replaces
+// the provider atomically — the expvar variable starts reporting the
+// new counter — so re-wiring a counter at runtime (or re-running setup
+// in tests) is safe. Publish panics only if the name is already taken
+// by a different package's expvar.Publish, which this package cannot
+// replace; use PublishOnce to make any duplicate a hard error instead.
 func Publish(name string, p StatsProvider) {
-	expvar.Publish(name, expvar.Func(func() any { return p.Stats() }))
+	published.Lock()
+	defer published.Unlock()
+	if h, ok := published.m[name]; ok {
+		h.Store(&p)
+		return
+	}
+	h := new(atomic.Pointer[StatsProvider])
+	h.Store(&p)
+	if published.m == nil {
+		published.m = make(map[string]*atomic.Pointer[StatsProvider])
+	}
+	published.m[name] = h
+	expvar.Publish(name, expvar.Func(func() any { return (*h.Load()).Stats() }))
+}
+
+// PublishOnce is Publish with the strict expvar contract: it panics if
+// name was ever published before (by this package or any other), for
+// callers that want accidental reuse of a metric name to fail loudly at
+// setup.
+func PublishOnce(name string, p StatsProvider) {
+	published.Lock()
+	_, dup := published.m[name]
+	published.Unlock()
+	if dup {
+		panic("counter: PublishOnce of duplicate name " + name)
+	}
+	Publish(name, p)
 }

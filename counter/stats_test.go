@@ -3,6 +3,7 @@ package counter_test
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -110,4 +111,48 @@ func TestPublishExpvar(t *testing.T) {
 	if s.Increments != 2 {
 		t.Fatalf("exported Increments after second read = %d, want 2", s.Increments)
 	}
+}
+
+// TestPublishReplace pins the redesigned Publish contract: publishing a
+// second provider under a name this package registered before swaps the
+// provider instead of inheriting expvar.Publish's duplicate panic, and
+// the expvar variable immediately reports the new counter.
+func TestPublishReplace(t *testing.T) {
+	a, b := counter.New(), counter.New()
+	a.Increment(1)
+	b.Increment(5)
+	counter.Publish("test_publish_replace", a)
+	counter.Publish("test_publish_replace", b) // must not panic
+
+	var s counter.Stats
+	if err := json.Unmarshal([]byte(expvar.Get("test_publish_replace").String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Increments != 1 {
+		t.Fatalf("exported Increments = %d after replace, want 1 (b's single increment)", s.Increments)
+	}
+	// The replacement is live, not a snapshot.
+	b.Increment(2)
+	if err := json.Unmarshal([]byte(expvar.Get("test_publish_replace").String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Increments != 2 {
+		t.Fatalf("exported Increments = %d after b incremented again, want 2", s.Increments)
+	}
+}
+
+// TestPublishOnce pins the strict variant: first use registers, any
+// reuse of the name panics.
+func TestPublishOnce(t *testing.T) {
+	// The registry is process-global; a unique name keeps the test
+	// correct under -count=N.
+	name := fmt.Sprintf("test_publish_once_%d", time.Now().UnixNano())
+	c := counter.New()
+	counter.PublishOnce(name, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PublishOnce of a duplicate name did not panic")
+		}
+	}()
+	counter.PublishOnce(name, c)
 }

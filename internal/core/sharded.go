@@ -188,7 +188,15 @@ func (c *ShardedCounter) Increment(amount uint64) {
 	}
 	c.wl.mu.Lock()
 	c.flushLocked()
-	c.storePublishedLocked(checkedAdd(c.published.Load(), amount))
+	v := c.published.Load()
+	if v+amount < v {
+		// Release the engine before the programming-error panic: a host
+		// that recovers it (internal/server turns overflow into a wire
+		// error) must be left with a usable counter, not a held mutex.
+		c.wl.mu.Unlock()
+		panic("core: counter value overflow")
+	}
+	c.storePublishedLocked(v + amount)
 	c.wl.stats.increments++
 	head := c.collectSatisfiedLocked()
 	c.wl.mu.Unlock()

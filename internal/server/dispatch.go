@@ -1,0 +1,189 @@
+package server
+
+import (
+	"container/heap"
+	"context"
+
+	"monotonic/internal/core"
+)
+
+// dispatcher multiplexes every remote wait on one hosted counter onto a
+// single parked goroutine, mirroring PR 1's discipline one level up: the
+// in-process engine refuses to spawn a goroutine per CheckContext call,
+// and the server refuses to spawn one per wire-level wait. Pending waits
+// live in a min-heap by level; at most one goroutine per counter runs
+// run(), parked in CheckContext on the lowest pending level. When that
+// level is satisfied the engine wakes it once (the paper's one-wake-per-
+// level cost unit), and it drains every wait the new value covers in one
+// pass — a wake storm of N remote waiters costs the server one resume
+// plus N queued frames, not N goroutines.
+//
+// Registering a wait below the current minimum (or cancelling the
+// minimum itself) interrupts the parked CheckContext through its context
+// so the dispatcher can re-arm at the new minimum; the engine's
+// cancellation path guarantees the abandoned park leaves nothing behind.
+type dispatcher struct {
+	c core.Interface
+
+	mu      chan struct{} // 1-buffered mutex; see lock/unlock
+	heap    waiterHeap
+	running bool
+	// interrupt cancels the context the run goroutine is currently (or
+	// about to be) parked on; nil while not parked. Guarded by mu.
+	interrupt context.CancelFunc
+}
+
+// A plain sync.Mutex would do, but a channel mutex keeps the lock
+// acquisition pattern identical between add/remove/drain and makes the
+// "never hold conn queue locks while taking d.mu" ordering auditable at
+// the call sites: lock() is the only entry point.
+func newDispatcher(c core.Interface) *dispatcher {
+	d := &dispatcher{c: c, mu: make(chan struct{}, 1)}
+	d.mu <- struct{}{}
+	return d
+}
+
+func (d *dispatcher) lock()   { <-d.mu }
+func (d *dispatcher) unlock() { d.mu <- struct{}{} }
+
+// waiter is one outstanding remote Check. done flips exactly once, under
+// the dispatcher lock, when the wait is resolved (woken, cancelled, or
+// its connection torn down); the flip decides every wake/cancel race.
+type waiter struct {
+	level uint64
+	id    uint64
+	conn  *conn
+	host  *hosted
+	idx   int // heap slot, maintained by waiterHeap
+	done  bool
+}
+
+// add registers w, resolving it immediately when the value already
+// satisfies the level (the remote fast path: no dispatcher goroutine is
+// started for an already-satisfied check).
+func (d *dispatcher) add(w *waiter) {
+	d.lock()
+	if w.done {
+		// Connection teardown raced the registration; nothing to resolve.
+		d.unlock()
+		return
+	}
+	if w.level <= d.c.Value() {
+		w.done = true
+		d.unlock()
+		w.conn.resolveWake(w)
+		return
+	}
+	heap.Push(&d.heap, w)
+	if !d.running {
+		d.running = true
+		go d.run()
+	} else if d.heap[0] == w && d.interrupt != nil {
+		// New minimum below the parked level: re-arm.
+		d.interrupt()
+	}
+	d.unlock()
+}
+
+// remove deregisters w (cancel frame or connection teardown) and
+// reports whether the wait was still pending — false means a wake
+// already resolved it and is on (or through) the wire.
+func (d *dispatcher) remove(w *waiter) bool {
+	d.lock()
+	if w.done {
+		d.unlock()
+		return false
+	}
+	w.done = true
+	if w.idx >= 0 { // idx -1: teardown raced the registration before add
+		wasMin := w.idx == 0
+		heap.Remove(&d.heap, w.idx)
+		if wasMin && d.interrupt != nil {
+			// The parked level may no longer be the minimum (or the heap
+			// may be empty); wake the run goroutine so it re-arms or
+			// retires.
+			d.interrupt()
+		}
+	}
+	d.unlock()
+	return true
+}
+
+// run is the dispatcher goroutine: drain every wait the current value
+// covers, then park on the minimum pending level. It exits when the
+// heap empties, so an idle counter costs the server zero goroutines.
+func (d *dispatcher) run() {
+	for {
+		d.lock()
+		v := d.c.Value()
+		for len(d.heap) > 0 && d.heap[0].level <= v {
+			w := heap.Pop(&d.heap).(*waiter)
+			w.done = true
+			w.conn.resolveWake(w)
+		}
+		if len(d.heap) == 0 {
+			d.running = false
+			d.interrupt = nil
+			d.unlock()
+			return
+		}
+		min := d.heap[0].level
+		ctx, cancel := context.WithCancel(context.Background())
+		d.interrupt = cancel
+		d.unlock()
+		// Parks on the shared waitlist engine; an interrupt (new lower
+		// minimum, cancelled minimum) returns early and the next loop
+		// iteration re-arms. Either way no goroutine is left behind.
+		_ = d.c.CheckContext(ctx, min)
+		cancel()
+	}
+}
+
+// pending reports the number of unresolved waits — the server half of
+// Reset's misuse check.
+func (d *dispatcher) pending() int {
+	d.lock()
+	n := len(d.heap)
+	d.unlock()
+	return n
+}
+
+// idle reports whether the run goroutine has fully retired; Reset
+// requires it, since a parked dispatcher is a suspended goroutine the
+// in-process Reset would panic on.
+func (d *dispatcher) idle() bool {
+	d.lock()
+	ok := !d.running
+	d.unlock()
+	return ok
+}
+
+// waiterHeap is a min-heap of pending waits by level (ties broken by
+// registration id so drain order is deterministic).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].level != h[j].level {
+		return h[i].level < h[j].level
+	}
+	return h[i].id < h[j].id
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	w.idx = -1
+	return w
+}

@@ -1,0 +1,451 @@
+// Package server implements counterd: a TCP server hosting named
+// monotonic counters that any number of processes synchronize on over
+// the internal/wire protocol. Counters are backed by the sharded engine
+// (internal/core.ShardedCounter), so the in-process semantics —
+// monotonicity, wake-by-level, satisfied-beats-cancelled, Reset's misuse
+// panic — are the wire semantics; the server adds only sessions (for
+// retry-safe increment dedup) and the goroutine discipline:
+//
+//   - one reader goroutine per connection, multiplexing any number of
+//     outstanding Check waits onto the per-counter dispatcher
+//     (dispatch.go) — never a goroutine per blocked wait;
+//   - one writer goroutine per connection, coalescing every queued
+//     frame (wakes, acks, replies) into batched flushes;
+//   - one transient dispatcher goroutine per counter with pending
+//     waits, parked in a single CheckContext on the minimum level.
+//
+// A fan-out of N remote waiters on C connections therefore costs the
+// server 2C+1 long-lived goroutines plus at most one per busy counter,
+// independent of N — experiment E22 asserts exactly this bound.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"monotonic/internal/core"
+	"monotonic/internal/wire"
+)
+
+// ackEvery bounds how many increments a connection applies before the
+// server acknowledges even if the read buffer never drains, so a
+// client pipelining a long burst can trim its resend queue.
+const ackEvery = 1024
+
+// Server hosts named counters. The zero value is not usable; call New.
+type Server struct {
+	mu       sync.Mutex
+	counters map[string]*hosted
+	sessions map[uint64]*session
+	nextSess uint64
+	conns    map[*conn]struct{}
+	lis      net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// hosted is one named counter plus its wait dispatcher.
+type hosted struct {
+	name string
+	c    *core.ShardedCounter
+	d    *dispatcher
+}
+
+// session carries the per-client state that survives reconnects: the
+// highest applied increment sequence, which is what makes re-sending an
+// unacknowledged tail safe (duplicates are dropped, monotonicity does
+// the rest).
+type session struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// New returns a server with no counters and no sessions.
+func New() *Server {
+	return &Server{
+		counters: make(map[string]*hosted),
+		sessions: make(map[uint64]*session),
+		conns:    make(map[*conn]struct{}),
+	}
+}
+
+// Serve accepts connections on lis until Close (or a fatal listener
+// error), blocking. The listener is adopted: Close closes it.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &conn{srv: s, nc: nc}
+		c.wcond = sync.NewCond(&c.wmu)
+		c.waits = make(map[uint64]*waiter)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(2)
+		s.mu.Unlock()
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// Close stops accepting, tears down every connection, and waits for all
+// connection goroutines to retire. Hosted counter state (and sessions)
+// is discarded with the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	var conns []*conn
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.teardown()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// counter returns the hosted counter with the given name, creating it on
+// first reference.
+func (s *Server) counter(name string) *hosted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.counters[name]
+	if !ok {
+		c := core.NewSharded()
+		h = &hosted{name: name, c: c, d: newDispatcher(c)}
+		s.counters[name] = h
+	}
+	return h
+}
+
+// session resolves a Hello: id 0 opens a fresh session; a nonzero id
+// resumes it, creating an empty one if the server has never seen it
+// (e.g. the server restarted — the client's full resend then rebuilds
+// what the restart lost).
+func (s *Server) session(id uint64) (uint64, *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == 0 {
+		s.nextSess++
+		id = s.nextSess
+	} else if id > s.nextSess {
+		s.nextSess = id
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		sess = &session{}
+		s.sessions[id] = sess
+	}
+	return id, sess
+}
+
+// tryReset zeroes the hosted counter, or explains why not: pending
+// remote waits (the wire analogue of the in-process "Reset with
+// goroutines suspended" panic) or a dispatcher still retiring.
+func (h *hosted) tryReset() (err error) {
+	if n := h.d.pending(); n > 0 {
+		return fmt.Errorf("counter %q: cannot Reset: %d waits suspended", h.name, n)
+	}
+	if !h.d.idle() {
+		return fmt.Errorf("counter %q: cannot Reset: dispatcher retiring, retry", h.name)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("counter %q: %v", h.name, p)
+		}
+	}()
+	h.c.Reset()
+	return nil
+}
+
+// conn is one client connection.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	sess *session
+
+	// Write side: frames queue under wmu and the writer goroutine
+	// drains whatever has accumulated into one buffered write+flush, so
+	// a wake storm or an ack burst becomes a handful of TCP segments.
+	wmu     sync.Mutex
+	wcond   *sync.Cond
+	wq      []byte
+	wclosed bool
+
+	// waits indexes this connection's unresolved waiters by client-
+	// chosen id. Guarded by waitMu; never hold waitMu while calling
+	// into a dispatcher (the dispatcher's drain path locks in the other
+	// order).
+	waitMu sync.Mutex
+	waits  map[uint64]*waiter
+
+	ackedSeq  uint64 // highest seq this conn has acked
+	unacked   int    // increments applied since the last ack
+	closeOnce sync.Once
+}
+
+// send queues one frame for the writer goroutine.
+func (c *conn) send(f *wire.Frame) {
+	c.wmu.Lock()
+	if !c.wclosed {
+		c.wq = wire.Append(c.wq, f)
+		c.wcond.Signal()
+	}
+	c.wmu.Unlock()
+}
+
+// resolveWake delivers a satisfied wait to the client and forgets it.
+// Called by the dispatcher (which may hold its own lock — see the lock
+// ordering note on waits).
+func (c *conn) resolveWake(w *waiter) {
+	c.waitMu.Lock()
+	delete(c.waits, w.id)
+	c.waitMu.Unlock()
+	c.send(&wire.Frame{Op: wire.OpWake, ID: w.id, Level: w.level})
+}
+
+// writeLoop drains the frame queue into the socket, batching everything
+// queued since the last flush into one write.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	bw := bufio.NewWriter(c.nc)
+	for {
+		c.wmu.Lock()
+		for len(c.wq) == 0 && !c.wclosed {
+			c.wcond.Wait()
+		}
+		buf := c.wq
+		c.wq = nil
+		closed := c.wclosed
+		c.wmu.Unlock()
+		if len(buf) > 0 {
+			_, err := bw.Write(buf)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				c.teardown()
+				return
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// readLoop parses and executes frames until the connection dies or
+// misbehaves; protocol errors close the connection (the client's
+// reconnect handshake restores its state).
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.teardown()
+	br := bufio.NewReader(c.nc)
+	for {
+		f, err := wire.Read(br)
+		if err != nil {
+			return
+		}
+		if err := c.handle(&f); err != nil {
+			return
+		}
+		// Ack applied increments when the pipeline drains (or every
+		// ackEvery of them), so one flush carries one ack for a whole
+		// burst instead of an ack per increment.
+		if c.unacked > 0 && (br.Buffered() == 0 || c.unacked >= ackEvery) {
+			c.sess.mu.Lock()
+			seq := c.sess.lastSeq
+			c.sess.mu.Unlock()
+			if seq > c.ackedSeq {
+				c.ackedSeq = seq
+				c.send(&wire.Frame{Op: wire.OpIncAck, Seq: seq})
+			}
+			c.unacked = 0
+		}
+	}
+}
+
+// handle executes one frame. A non-nil error means the connection is
+// unrecoverable and must close.
+func (c *conn) handle(f *wire.Frame) error {
+	if c.sess == nil && f.Op != wire.OpHello {
+		return fmt.Errorf("server: %s before hello", f.Op)
+	}
+	switch f.Op {
+	case wire.OpHello:
+		if f.Seq != wire.Version {
+			return fmt.Errorf("server: protocol version %d, want %d", f.Seq, wire.Version)
+		}
+		id, sess := c.srv.session(f.Session)
+		c.sess = sess
+		sess.mu.Lock()
+		last := sess.lastSeq
+		sess.mu.Unlock()
+		c.ackedSeq = last
+		c.send(&wire.Frame{Op: wire.OpWelcome, Session: id, Seq: last})
+
+	case wire.OpIncrement:
+		h, err := c.hosted(f.Name)
+		if err != nil {
+			return err
+		}
+		c.sess.mu.Lock()
+		dup := f.Seq <= c.sess.lastSeq
+		if !dup {
+			c.sess.lastSeq = f.Seq
+		}
+		c.sess.mu.Unlock()
+		if dup {
+			return nil // retried increment: monotonic dedup, drop it
+		}
+		c.unacked++
+		if err := apply(h, f.Amount); err != nil {
+			// Overflow is a caller bug, not a connection fault: report it
+			// on the increment's sequence number and keep serving.
+			c.send(&wire.Frame{Op: wire.OpError, ID: f.Seq, Msg: err.Error()})
+		}
+
+	case wire.OpCheck:
+		h, err := c.hosted(f.Name)
+		if err != nil {
+			return err
+		}
+		w := &waiter{level: f.Level, id: f.ID, conn: c, host: h, idx: -1}
+		c.waitMu.Lock()
+		if _, dup := c.waits[f.ID]; dup {
+			c.waitMu.Unlock()
+			return fmt.Errorf("server: duplicate wait id %d", f.ID)
+		}
+		c.waits[f.ID] = w
+		c.waitMu.Unlock()
+		h.d.add(w)
+
+	case wire.OpCancel:
+		c.waitMu.Lock()
+		w := c.waits[f.ID]
+		c.waitMu.Unlock()
+		if w == nil {
+			return nil // already resolved; the wake frame answers the race
+		}
+		if w.host.d.remove(w) {
+			c.waitMu.Lock()
+			delete(c.waits, f.ID)
+			c.waitMu.Unlock()
+			c.send(&wire.Frame{Op: wire.OpCancelled, ID: f.ID})
+		}
+
+	case wire.OpReset:
+		h, err := c.hosted(f.Name)
+		if err != nil {
+			return err
+		}
+		if err := h.tryReset(); err != nil {
+			c.send(&wire.Frame{Op: wire.OpError, ID: f.ID, Msg: err.Error()})
+		} else {
+			c.send(&wire.Frame{Op: wire.OpResetOK, ID: f.ID})
+		}
+
+	case wire.OpStats:
+		h, err := c.hosted(f.Name)
+		if err != nil {
+			return err
+		}
+		st := h.c.Stats()
+		c.send(&wire.Frame{Op: wire.OpStatsReply, ID: f.ID, Stats: wire.Stats{
+			PeakLevels:         uint64(st.PeakLevels),
+			SatisfiedLevels:    st.SatisfiedLevels,
+			Broadcasts:         st.Broadcasts,
+			ChannelCloses:      st.ChannelCloses,
+			Suspends:           st.Suspends,
+			ImmediateChecks:    st.ImmediateChecks,
+			Increments:         st.Increments,
+			SpinRounds:         st.SpinRounds,
+			FastPathIncrements: st.FastPathIncrements,
+			Flushes:            st.Flushes,
+		}})
+
+	default:
+		return fmt.Errorf("server: unexpected %s frame from client", f.Op)
+	}
+	return nil
+}
+
+// hosted validates the counter name and resolves it.
+func (c *conn) hosted(name string) (*hosted, error) {
+	if name == "" || len(name) > wire.MaxName {
+		return nil, fmt.Errorf("server: bad counter name %q", name)
+	}
+	return c.srv.counter(name), nil
+}
+
+// apply increments h, converting the overflow panic (a wrap would
+// violate monotonicity) into an error for the wire.
+func apply(h *hosted, amount uint64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("counter %q: %v", h.name, p)
+		}
+	}()
+	h.c.Increment(amount)
+	return nil
+}
+
+// teardown closes the connection once: the socket (unblocking the
+// reader), the write queue (retiring the writer), and every pending
+// wait this connection registered (so dispatcher heaps hold no dead
+// entries).
+func (c *conn) teardown() {
+	c.closeOnce.Do(func() {
+		c.nc.Close()
+		c.wmu.Lock()
+		c.wclosed = true
+		c.wcond.Signal()
+		c.wmu.Unlock()
+		c.waitMu.Lock()
+		pending := make([]*waiter, 0, len(c.waits))
+		for _, w := range c.waits {
+			pending = append(pending, w)
+		}
+		c.waits = make(map[uint64]*waiter)
+		c.waitMu.Unlock()
+		for _, w := range pending {
+			w.host.d.remove(w)
+		}
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+	})
+}

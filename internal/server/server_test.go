@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"monotonic/internal/wire"
+)
+
+// Protocol-level tests: a raw TCP client speaking wire frames, so the
+// server's contract is pinned independently of the counter/remote
+// client implementation.
+
+type rawClient struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	go s.Serve(lis)
+	t.Cleanup(func() { s.Close() })
+	return s, lis.Addr().String()
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawClient{t: t, nc: nc, br: bufio.NewReader(nc)}
+}
+
+func (c *rawClient) send(frames ...*wire.Frame) {
+	c.t.Helper()
+	var buf []byte
+	for _, f := range frames {
+		buf = wire.Append(buf, f)
+	}
+	if _, err := c.nc.Write(buf); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+}
+
+// recv reads one frame, failing the test after a 5s stall.
+func (c *rawClient) recv() wire.Frame {
+	c.t.Helper()
+	c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := wire.Read(c.br)
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	return f
+}
+
+// recvOp skips frames until one with the wanted opcode arrives (acks and
+// wakes interleave freely in the write batching).
+func (c *rawClient) recvOp(op wire.Op) wire.Frame {
+	c.t.Helper()
+	for {
+		f := c.recv()
+		if f.Op == op {
+			return f
+		}
+	}
+}
+
+// hello performs the handshake, resuming the given session (0 = fresh),
+// and returns the welcome frame.
+func (c *rawClient) hello(session uint64) wire.Frame {
+	c.t.Helper()
+	c.send(&wire.Frame{Op: wire.OpHello, Session: session, Seq: wire.Version})
+	f := c.recv()
+	if f.Op != wire.OpWelcome {
+		c.t.Fatalf("handshake reply %s, want welcome", f.Op)
+	}
+	return f
+}
+
+func TestHandshakeIncrementWake(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	w := c.hello(0)
+	if w.Session == 0 {
+		t.Fatal("welcome carries session 0")
+	}
+
+	// A check below a value the same pipeline establishes resolves: the
+	// server applies a session's frames in order.
+	c.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "a", Seq: 1, Amount: 5},
+		&wire.Frame{Op: wire.OpCheck, Name: "a", ID: 1, Level: 5},
+		&wire.Frame{Op: wire.OpCheck, Name: "a", ID: 2, Level: 3},
+	)
+	got := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		f := c.recvOp(wire.OpWake)
+		got[f.ID] = true
+	}
+	if !got[1] || !got[2] {
+		t.Fatalf("wakes for ids %v, want 1 and 2", got)
+	}
+
+	// A blocked check resolves when a later increment satisfies it.
+	c.send(&wire.Frame{Op: wire.OpCheck, Name: "a", ID: 3, Level: 8})
+	c.send(&wire.Frame{Op: wire.OpIncrement, Name: "a", Seq: 2, Amount: 3})
+	if f := c.recvOp(wire.OpWake); f.ID != 3 || f.Level != 8 {
+		t.Fatalf("wake = id %d level %d, want id 3 level 8", f.ID, f.Level)
+	}
+}
+
+func TestIncrementAckAndDedup(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.hello(0)
+	c.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "d", Seq: 1, Amount: 1},
+		&wire.Frame{Op: wire.OpIncrement, Name: "d", Seq: 2, Amount: 1},
+	)
+	if f := c.recvOp(wire.OpIncAck); f.Seq != 2 {
+		t.Fatalf("ack seq = %d, want 2", f.Seq)
+	}
+	// Retransmits (seq <= lastSeq) must be dropped: after re-sending
+	// both, a check at 3 must stay pending (cancel confirms) while a
+	// fresh seq 3 then satisfies it.
+	c.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "d", Seq: 1, Amount: 1},
+		&wire.Frame{Op: wire.OpIncrement, Name: "d", Seq: 2, Amount: 1},
+		&wire.Frame{Op: wire.OpCheck, Name: "d", ID: 1, Level: 3},
+		&wire.Frame{Op: wire.OpCancel, ID: 1},
+	)
+	if f := c.recv(); f.Op != wire.OpCancelled || f.ID != 1 {
+		t.Fatalf("got %s id %d, want cancelled id 1 (dup increments must not apply)", f.Op, f.ID)
+	}
+	c.send(
+		&wire.Frame{Op: wire.OpCheck, Name: "d", ID: 2, Level: 3},
+		&wire.Frame{Op: wire.OpIncrement, Name: "d", Seq: 3, Amount: 1},
+	)
+	if f := c.recvOp(wire.OpWake); f.ID != 2 {
+		t.Fatalf("wake id = %d, want 2", f.ID)
+	}
+}
+
+func TestSessionResume(t *testing.T) {
+	_, addr := startServer(t)
+	c1 := dialRaw(t, addr)
+	w := c1.hello(0)
+	c1.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "r", Seq: 1, Amount: 10},
+		&wire.Frame{Op: wire.OpIncrement, Name: "r", Seq: 2, Amount: 10},
+	)
+	c1.recvOp(wire.OpIncAck)
+	c1.nc.Close()
+
+	// Resume: the welcome reports the applied watermark, and re-sent
+	// tail frames below it are dropped.
+	c2 := dialRaw(t, addr)
+	w2 := c2.hello(w.Session)
+	if w2.Session != w.Session {
+		t.Fatalf("resumed session = %d, want %d", w2.Session, w.Session)
+	}
+	if w2.Seq != 2 {
+		t.Fatalf("resumed lastSeq = %d, want 2", w2.Seq)
+	}
+	c2.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "r", Seq: 2, Amount: 10}, // retransmit: dropped
+		&wire.Frame{Op: wire.OpIncrement, Name: "r", Seq: 3, Amount: 1},
+		&wire.Frame{Op: wire.OpCheck, Name: "r", ID: 1, Level: 21},
+		&wire.Frame{Op: wire.OpCheck, Name: "r", ID: 2, Level: 22}, // would pass had seq 2 double-applied
+		&wire.Frame{Op: wire.OpCancel, ID: 2},
+	)
+	sawWake1 := false
+	for i := 0; i < 2; i++ {
+		switch f := c2.recv(); {
+		case f.Op == wire.OpWake && f.ID == 1:
+			sawWake1 = true
+		case f.Op == wire.OpCancelled && f.ID == 2:
+		case f.Op == wire.OpIncAck:
+			i-- // ack frames interleave; not one of the two answers
+		default:
+			t.Fatalf("unexpected %s id %d", f.Op, f.ID)
+		}
+	}
+	if !sawWake1 {
+		t.Fatal("check at 21 never woke: retransmitted increment was lost instead of deduped")
+	}
+}
+
+func TestResetRefusedUnderWaiters(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.hello(0)
+	c.send(&wire.Frame{Op: wire.OpCheck, Name: "z", ID: 1, Level: 100})
+	// The wait must be registered before Reset sees it; same pipeline, so
+	// ordering is guaranteed by the reader loop.
+	c.send(&wire.Frame{Op: wire.OpReset, Name: "z", ID: 2})
+	if f := c.recv(); f.Op != wire.OpError || f.ID != 2 {
+		t.Fatalf("reset under a waiter = %s, want error", f.Op)
+	}
+	c.send(&wire.Frame{Op: wire.OpCancel, ID: 1})
+	if f := c.recv(); f.Op != wire.OpCancelled {
+		t.Fatalf("cancel reply = %s", f.Op)
+	}
+	// The dispatcher may still be retiring; the server says retry, and a
+	// retry loop must converge to ResetOK.
+	deadline := time.Now().Add(5 * time.Second)
+	for id := uint64(3); ; id++ {
+		c.send(&wire.Frame{Op: wire.OpReset, Name: "z", ID: id})
+		f := c.recv()
+		if f.Op == wire.OpResetOK {
+			break
+		}
+		if f.Op != wire.OpError {
+			t.Fatalf("reset retry reply = %s", f.Op)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reset never succeeded after cancel: %s", f.Msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIncrementOverflowReported(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.hello(0)
+	c.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "o", Seq: 1, Amount: ^uint64(0) - 5},
+		&wire.Frame{Op: wire.OpIncrement, Name: "o", Seq: 2, Amount: 100},
+	)
+	f := c.recvOp(wire.OpError)
+	if f.ID != 2 {
+		t.Fatalf("overflow reported on seq %d, want 2", f.ID)
+	}
+	// The connection survives a caller bug: the counter still answers.
+	c.send(&wire.Frame{Op: wire.OpCheck, Name: "o", ID: 1, Level: 1})
+	if f := c.recvOp(wire.OpWake); f.ID != 1 {
+		t.Fatalf("wake id = %d", f.ID)
+	}
+}
+
+func TestStatsReply(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.hello(0)
+	c.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "s", Seq: 1, Amount: 4},
+		&wire.Frame{Op: wire.OpCheck, Name: "s", ID: 1, Level: 4},
+	)
+	c.recvOp(wire.OpWake)
+	c.send(&wire.Frame{Op: wire.OpStats, Name: "s", ID: 2})
+	f := c.recvOp(wire.OpStatsReply)
+	if f.ID != 2 {
+		t.Fatalf("stats reply id = %d, want 2", f.ID)
+	}
+	if f.Stats.Increments != 1 {
+		t.Fatalf("stats Increments = %d, want 1", f.Stats.Increments)
+	}
+}
+
+func TestProtocolErrorsCloseConnection(t *testing.T) {
+	for name, frames := range map[string][]*wire.Frame{
+		"before-hello": {{Op: wire.OpIncrement, Name: "x", Seq: 1, Amount: 1}},
+		"bad-version":  {{Op: wire.OpHello, Seq: wire.Version + 1}},
+		"server-opcode": {
+			{Op: wire.OpHello, Seq: wire.Version},
+			{Op: wire.OpWake, ID: 1},
+		},
+		"dup-wait-id": {
+			{Op: wire.OpHello, Seq: wire.Version},
+			{Op: wire.OpCheck, Name: "x", ID: 7, Level: 100},
+			{Op: wire.OpCheck, Name: "x", ID: 7, Level: 200},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, addr := startServer(t)
+			c := dialRaw(t, addr)
+			c.send(frames...)
+			c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+			for {
+				if _, err := wire.Read(c.br); err != nil {
+					return // connection closed, as required
+				}
+			}
+		})
+	}
+}
+
+// TestNoGoroutinePerWait pins the server's structural guarantee directly:
+// hundreds of blocked waits on one connection may cost at most the
+// connection pair plus one dispatcher goroutine per busy counter.
+func TestNoGoroutinePerWait(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.hello(0)
+	// Two counters busy at once, many pending waits on each.
+	const waits = 300
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < waits; i++ {
+		name := "g1"
+		if i%2 == 0 {
+			name = "g2"
+		}
+		c.send(&wire.Frame{Op: wire.OpCheck, Name: name, ID: uint64(i + 1), Level: uint64(1000 + i)})
+	}
+	// Wait until both dispatchers have seen the registrations (send a
+	// fence increment+check and await its wake: the reader is in-order).
+	c.send(
+		&wire.Frame{Op: wire.OpIncrement, Name: "g1", Seq: 1, Amount: 1},
+		&wire.Frame{Op: wire.OpCheck, Name: "g1", ID: waits + 1, Level: 1},
+	)
+	c.recvOp(wire.OpWake)
+	if n := runtime.NumGoroutine(); n > baseline+4 {
+		t.Fatalf("goroutines = %d with %d pending waits (baseline %d): per-wait goroutines leaked",
+			n, waits, baseline)
+	}
+	// One increment wakes every entitled waiter.
+	c.send(&wire.Frame{Op: wire.OpIncrement, Name: "g1", Seq: 2, Amount: 5000})
+	c.send(&wire.Frame{Op: wire.OpIncrement, Name: "g2", Seq: 3, Amount: 5000})
+	for got := 0; got < waits; {
+		if f := c.recv(); f.Op == wire.OpWake && f.ID <= waits {
+			got++
+		}
+	}
+}

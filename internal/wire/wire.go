@@ -1,0 +1,360 @@
+// Package wire defines the binary protocol spoken between the counterd
+// server (internal/server) and the remote counter client
+// (counter/remote). It is deliberately tiny and stdlib-only: every
+// message is one length-prefixed frame, and the whole vocabulary is the
+// counter interface itself (Increment/Check/Cancel/Reset/Stats) plus the
+// session handshake that makes reconnects retry-safe.
+//
+// # Framing
+//
+// A frame is a 4-byte big-endian payload length followed by the payload.
+// The payload is one opcode byte followed by the opcode's fields, each
+// encoded as a uvarint (integers) or a uvarint byte count followed by the
+// bytes (strings). Frames are self-contained: a reader that knows the
+// length can skip an unknown frame, and a writer can batch any number of
+// frames into one TCP segment — both sides do (the server's per
+// connection writer and the client's flusher coalesce whatever is queued
+// into a single write).
+//
+// # Idempotency
+//
+// The protocol leans on the paper's monotonicity argument (section 6):
+// because a counter's value only grows, Check frames are naturally
+// idempotent — re-sending "wake me at level L" after a reconnect cannot
+// observe a smaller value — and the only retry hazard in the whole
+// vocabulary is applying an Increment twice. Increments therefore carry a
+// per-session sequence number; the server remembers the highest applied
+// sequence per session and drops duplicates, so a client that re-sends
+// its unacknowledged tail after a reconnect cannot double-apply (see
+// docs/PATTERNS.md, "Counters across processes").
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version carried in Hello; the server rejects
+// frames it cannot parse rather than negotiating, so bumping this is a
+// breaking change.
+const Version = 1
+
+// MaxFrame bounds a frame's payload, protecting both sides from a
+// corrupt or hostile length prefix. Counter names are the only variable
+// sized field, so frames are tiny; 64 KiB is generous.
+const MaxFrame = 64 << 10
+
+// MaxName bounds a counter name.
+const MaxName = 256
+
+// Op identifies a frame's meaning.
+type Op uint8
+
+// Client-to-server opcodes.
+const (
+	// OpHello opens (Session==0) or resumes a session; the server
+	// replies with OpWelcome. Fields: Session, Seq (client protocol
+	// version — see Version).
+	OpHello Op = 0x01
+	// OpIncrement applies Amount to the named counter, deduplicated by
+	// the per-session Seq. No per-frame reply; the server acknowledges
+	// the highest applied Seq with OpIncAck when its read buffer drains.
+	OpIncrement Op = 0x02
+	// OpCheck registers a wait: the server replies OpWake{ID} once the
+	// named counter's value reaches Level. IDs are chosen by the client
+	// and must be unique among its outstanding waits.
+	OpCheck Op = 0x03
+	// OpCancel deregisters the wait with ID. The server replies
+	// OpCancelled{ID} if the wait was still pending; if the wake
+	// already happened (or is in flight) it stays silent — the client
+	// resolves the race by whichever reply arrives.
+	OpCancel Op = 0x04
+	// OpReset zeroes the named counter; reply is OpResetOK{ID} or
+	// OpError{ID} (e.g. goroutines are suspended on the counter —
+	// the same misuse the in-process Reset panics on).
+	OpReset Op = 0x05
+	// OpStats requests the named counter's engine stats; reply is
+	// OpStatsReply{ID, Stats}.
+	OpStats Op = 0x06
+)
+
+// Server-to-client opcodes.
+const (
+	// OpWelcome answers OpHello. Session is the (new or resumed)
+	// session id; Seq is the highest Increment sequence the server has
+	// applied for it, so the client re-sends only its unacknowledged
+	// tail.
+	OpWelcome Op = 0x81
+	// OpWake resolves the wait with ID: the level is satisfied. Level
+	// echoes the satisfied level so the client can advance its local
+	// known-satisfied watermark.
+	OpWake Op = 0x82
+	// OpCancelled resolves the wait with ID as cancelled.
+	OpCancelled Op = 0x83
+	// OpIncAck acknowledges every Increment with sequence <= Seq.
+	OpIncAck Op = 0x84
+	// OpResetOK acknowledges a reset.
+	OpResetOK Op = 0x85
+	// OpError is the failure reply to the request with ID.
+	OpError Op = 0x86
+	// OpStatsReply carries a Stats snapshot.
+	OpStatsReply Op = 0x87
+)
+
+// String returns the opcode's wire name.
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpIncrement:
+		return "increment"
+	case OpCheck:
+		return "check"
+	case OpCancel:
+		return "cancel"
+	case OpReset:
+		return "reset"
+	case OpStats:
+		return "stats"
+	case OpWelcome:
+		return "welcome"
+	case OpWake:
+		return "wake"
+	case OpCancelled:
+		return "cancelled"
+	case OpIncAck:
+		return "incack"
+	case OpResetOK:
+		return "resetok"
+	case OpError:
+		return "error"
+	case OpStatsReply:
+		return "statsreply"
+	}
+	return fmt.Sprintf("op(0x%02x)", uint8(o))
+}
+
+// Stats mirrors the engine's unified Stats schema (internal/core) field
+// for field, as transported by OpStatsReply. wire keeps its own copy so
+// the protocol package depends on nothing but the stdlib.
+type Stats struct {
+	PeakLevels         uint64
+	SatisfiedLevels    uint64
+	Broadcasts         uint64
+	ChannelCloses      uint64
+	Suspends           uint64
+	ImmediateChecks    uint64
+	Increments         uint64
+	SpinRounds         uint64
+	FastPathIncrements uint64
+	Flushes            uint64
+}
+
+// fields returns the stats' wire order, shared by encode and decode.
+func (s *Stats) fields() [10]*uint64 {
+	return [10]*uint64{
+		&s.PeakLevels, &s.SatisfiedLevels, &s.Broadcasts, &s.ChannelCloses,
+		&s.Suspends, &s.ImmediateChecks, &s.Increments, &s.SpinRounds,
+		&s.FastPathIncrements, &s.Flushes,
+	}
+}
+
+// Frame is one decoded protocol message. Only the fields meaningful for
+// Op are set; see the opcode docs for which those are. Using one struct
+// for the whole vocabulary keeps the reader loops a single switch.
+type Frame struct {
+	Op      Op
+	Name    string // counter name (Increment, Check, Reset, Stats)
+	Session uint64 // Hello, Welcome
+	Seq     uint64 // Increment/IncAck sequence; Hello version; Welcome last applied seq
+	ID      uint64 // wait id (Check/Cancel/Wake/Cancelled) or request id (Reset/Stats and replies)
+	Level   uint64 // Check level; Wake satisfied level
+	Amount  uint64 // Increment amount
+	Msg     string // Error message
+	Stats   Stats  // StatsReply
+}
+
+// ErrFrameTooLarge is returned for length prefixes beyond MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// Append encodes f as one complete frame (length prefix included) onto
+// buf and returns the extended slice.
+func Append(buf []byte, f *Frame) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length backfilled below
+	buf = append(buf, byte(f.Op))
+	switch f.Op {
+	case OpHello:
+		buf = appendUint(buf, f.Session)
+		buf = appendUint(buf, f.Seq)
+	case OpIncrement:
+		buf = appendString(buf, f.Name)
+		buf = appendUint(buf, f.Seq)
+		buf = appendUint(buf, f.Amount)
+	case OpCheck:
+		buf = appendString(buf, f.Name)
+		buf = appendUint(buf, f.ID)
+		buf = appendUint(buf, f.Level)
+	case OpCancel:
+		buf = appendUint(buf, f.ID)
+	case OpReset, OpStats:
+		buf = appendString(buf, f.Name)
+		buf = appendUint(buf, f.ID)
+	case OpWelcome:
+		buf = appendUint(buf, f.Session)
+		buf = appendUint(buf, f.Seq)
+	case OpWake:
+		buf = appendUint(buf, f.ID)
+		buf = appendUint(buf, f.Level)
+	case OpCancelled, OpResetOK:
+		buf = appendUint(buf, f.ID)
+	case OpIncAck:
+		buf = appendUint(buf, f.Seq)
+	case OpError:
+		buf = appendUint(buf, f.ID)
+		buf = appendString(buf, f.Msg)
+	case OpStatsReply:
+		buf = appendUint(buf, f.ID)
+		for _, p := range f.Stats.fields() {
+			buf = appendUint(buf, *p)
+		}
+	default:
+		panic("wire: Append on unknown op " + f.Op.String())
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// Read reads and decodes one frame from br. It returns io.EOF only on a
+// clean boundary (no partial frame read); a frame cut short surfaces as
+// io.ErrUnexpectedEOF.
+func Read(br *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return Frame{}, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return Frame{}, unexpected(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Frame{}, unexpected(err)
+	}
+	return Decode(payload)
+}
+
+// Decode parses one frame payload (opcode byte onward, no length
+// prefix).
+func Decode(payload []byte) (Frame, error) {
+	d := decoder{buf: payload}
+	var f Frame
+	f.Op = Op(d.byte())
+	switch f.Op {
+	case OpHello:
+		f.Session, f.Seq = d.uint(), d.uint()
+	case OpIncrement:
+		f.Name, f.Seq, f.Amount = d.string(), d.uint(), d.uint()
+	case OpCheck:
+		f.Name, f.ID, f.Level = d.string(), d.uint(), d.uint()
+	case OpCancel:
+		f.ID = d.uint()
+	case OpReset, OpStats:
+		f.Name, f.ID = d.string(), d.uint()
+	case OpWelcome:
+		f.Session, f.Seq = d.uint(), d.uint()
+	case OpWake:
+		f.ID, f.Level = d.uint(), d.uint()
+	case OpCancelled, OpResetOK:
+		f.ID = d.uint()
+	case OpIncAck:
+		f.Seq = d.uint()
+	case OpError:
+		f.ID, f.Msg = d.uint(), d.string()
+	case OpStatsReply:
+		f.ID = d.uint()
+		for _, p := range f.Stats.fields() {
+			*p = d.uint()
+		}
+	default:
+		return Frame{}, fmt.Errorf("wire: unknown opcode 0x%02x", byte(f.Op))
+	}
+	if d.err != nil {
+		return Frame{}, fmt.Errorf("wire: bad %s frame: %w", f.Op, d.err)
+	}
+	if len(d.buf) != 0 {
+		return Frame{}, fmt.Errorf("wire: %s frame has %d trailing bytes", f.Op, len(d.buf))
+	}
+	return f, nil
+}
+
+func appendUint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder consumes payload fields, latching the first error so the
+// per-opcode switches read straight through.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		d.fail("truncated")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uint()
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxName || n > uint64(len(d.buf)) {
+		d.fail("bad string length")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = errors.New(msg)
+		d.buf = nil
+	}
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frames covering every opcode and every field, including zero values
+// and maximal uvarints.
+func sampleFrames() []Frame {
+	return []Frame{
+		{Op: OpHello, Session: 0, Seq: Version},
+		{Op: OpHello, Session: ^uint64(0), Seq: 7},
+		{Op: OpIncrement, Name: "jobs", Seq: 42, Amount: 3},
+		{Op: OpIncrement, Name: "", Seq: 0, Amount: ^uint64(0)},
+		{Op: OpCheck, Name: "jobs", ID: 9, Level: 1 << 40},
+		{Op: OpCancel, ID: 9},
+		{Op: OpReset, Name: "phase", ID: 11},
+		{Op: OpStats, Name: "phase", ID: 12},
+		{Op: OpWelcome, Session: 5, Seq: 40},
+		{Op: OpWake, ID: 9, Level: 1 << 40},
+		{Op: OpCancelled, ID: 9},
+		{Op: OpIncAck, Seq: 42},
+		{Op: OpResetOK, ID: 11},
+		{Op: OpError, ID: 11, Msg: "counter busy: goroutines suspended"},
+		{Op: OpStatsReply, ID: 12, Stats: Stats{
+			PeakLevels: 1, SatisfiedLevels: 2, Broadcasts: 3, ChannelCloses: 4,
+			Suspends: 5, ImmediateChecks: 6, Increments: 7, SpinRounds: 8,
+			FastPathIncrements: 9, Flushes: 10,
+		}},
+	}
+}
+
+func TestRoundTripEveryOpcode(t *testing.T) {
+	for _, f := range sampleFrames() {
+		buf := Append(nil, &f)
+		got, err := Read(bufio.NewReader(bytes.NewReader(buf)))
+		if err != nil {
+			t.Fatalf("%s: Read: %v", f.Op, err)
+		}
+		if got != f {
+			t.Errorf("%s: round trip = %+v, want %+v", f.Op, got, f)
+		}
+	}
+}
+
+// TestBatchedFrames writes every sample frame into one buffer — the
+// shape both sides' write batching produces — and reads them back in
+// order, ending on a clean io.EOF.
+func TestBatchedFrames(t *testing.T) {
+	var buf []byte
+	frames := sampleFrames()
+	for i := range frames {
+		buf = Append(buf, &frames[i])
+	}
+	br := bufio.NewReader(bytes.NewReader(buf))
+	for i, want := range frames {
+		got, err := Read(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := Read(br); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestTruncatedFrame cuts a valid frame at every byte boundary: a cut
+// inside a frame must surface as io.ErrUnexpectedEOF or a decode error,
+// never a silent success or a clean EOF.
+func TestTruncatedFrame(t *testing.T) {
+	f := Frame{Op: OpCheck, Name: "jobs", ID: 9, Level: 300}
+	buf := Append(nil, &f)
+	for cut := 1; cut < len(buf); cut++ {
+		_, err := Read(bufio.NewReader(bytes.NewReader(buf[:cut])))
+		if err == nil {
+			t.Fatalf("cut at %d/%d decoded successfully", cut, len(buf))
+		}
+		if err == io.EOF {
+			t.Fatalf("cut at %d/%d reported clean EOF", cut, len(buf))
+		}
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	_, err := Read(bufio.NewReader(bytes.NewReader(hdr)))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestUnknownOpcodeRejected(t *testing.T) {
+	if _, err := Decode([]byte{0x7f}); err == nil {
+		t.Fatal("unknown opcode decoded successfully")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	buf := Append(nil, &Frame{Op: OpCancel, ID: 1})
+	payload := append(buf[4:], 0x00)
+	if _, err := Decode(payload); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("err = %v, want trailing-bytes error", err)
+	}
+}
+
+func TestOverlongNameRejected(t *testing.T) {
+	f := Frame{Op: OpCheck, Name: strings.Repeat("x", MaxName+1), ID: 1, Level: 1}
+	buf := Append(nil, &f)
+	if _, err := Decode(buf[4:]); err == nil {
+		t.Fatal("overlong name decoded successfully")
+	}
+}
