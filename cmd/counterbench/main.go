@@ -1,4 +1,4 @@
-// Command counterbench runs the reproduction experiments (E1-E22 in
+// Command counterbench runs the reproduction experiments (E1-E23 in
 // DESIGN.md) and prints their tables, regenerating the contents of
 // EXPERIMENTS.md.
 //
@@ -7,6 +7,7 @@
 //	counterbench                 # run every experiment at full size
 //	counterbench -exp E4,E5      # run a subset
 //	counterbench -quick          # reduced sizes (seconds, not minutes)
+//	counterbench -procs 1,2,4    # GOMAXPROCS sweep: run everything once per proc count
 //	counterbench -list           # list experiment IDs and titles
 package main
 
@@ -17,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,15 +30,29 @@ import (
 // is the unit of the benchmark trajectory: BENCH_<n>.json files checked
 // in at the repo root and the CI bench-smoke artifact both use it, so
 // runs are comparable across commits.
+//
+// counterbench/v2 makes the GOMAXPROCS sweep first-class: one report
+// holds one run per proc count, each tagged with the GOMAXPROCS it ran
+// under, so a report carries per-core scaling curves rather than a
+// single point. cmd/benchdiff joins two reports per (benchmark, procs)
+// pair and still reads the flat v1 layout of the older BENCH_*.json
+// files as a single-run report.
 type jsonReport struct {
-	Schema      string           `json:"schema"` // "counterbench/v1"
-	Date        string           `json:"date"`   // RFC 3339
-	GoVersion   string           `json:"go_version"`
-	GOOS        string           `json:"goos"`
-	GOARCH      string           `json:"goarch"`
+	Schema    string    `json:"schema"` // "counterbench/v2"
+	Date      string    `json:"date"`   // RFC 3339
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Quick     bool      `json:"quick"`
+	Procs     []int     `json:"procs"` // the swept GOMAXPROCS values, ascending
+	Runs      []jsonRun `json:"runs"`  // one entry per procs value
+}
+
+// jsonRun is every experiment's tables from one pass of the suite at a
+// fixed GOMAXPROCS.
+type jsonRun struct {
 	GOMAXPROCS  int              `json:"gomaxprocs"`
-	NumCPU      int              `json:"num_cpu"`
-	Quick       bool             `json:"quick"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
 
@@ -60,6 +76,7 @@ func main() {
 		md      = flag.Bool("md", false, "emit a complete EXPERIMENTS.md (claims + tables + interpretation)")
 		csv     = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonOut = flag.String("json", "", "also write machine-readable results (tables + environment) to this file")
+		procs   = flag.String("procs", "auto", "GOMAXPROCS values to sweep: comma-separated (e.g. 1,2,4; values above NumCPU measure oversubscribed contention), or 'auto' for 1,2,4,8 capped at NumCPU")
 	)
 	flag.Parse()
 
@@ -68,6 +85,16 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	procList, err := parseProcs(*procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+		os.Exit(2)
+	}
+	if *md && len(procList) > 1 {
+		fmt.Fprintln(os.Stderr, "counterbench: -md writes the single-proc narrative; use -procs with one value (the sweep's curves live in the -json report and E23)")
+		os.Exit(2)
 	}
 
 	cfg := experiments.Config{Quick: *quick}
@@ -91,44 +118,59 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *md {
-		printHeader(cfg)
-	}
 	report := jsonReport{
-		Schema:     "counterbench/v1",
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Quick:      cfg.Quick,
+		Schema:    "counterbench/v2",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     cfg.Quick,
+		Procs:     procList,
 	}
-	for _, e := range selected {
-		var tables []*harness.Table
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, p := range procList {
+		runtime.GOMAXPROCS(p)
 		if *md {
-			tables = experiments.RunAndPrintMarkdown(os.Stdout, e, cfg)
-		} else {
-			tables = experiments.RunAndPrint(os.Stdout, e, cfg)
+			printHeader(cfg)
+		} else if len(procList) > 1 {
+			fmt.Printf("==== GOMAXPROCS=%d ====\n\n", p)
 		}
-		if *csv != "" {
-			for i, t := range tables {
-				name := fmt.Sprintf("%s-%d-%s.csv", e.ID, i+1, slug(t.Title))
-				path := filepath.Join(*csv, name)
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
-					os.Exit(1)
+		run := jsonRun{GOMAXPROCS: p}
+		for _, e := range selected {
+			var tables []*harness.Table
+			if *md {
+				tables = experiments.RunAndPrintMarkdown(os.Stdout, e, cfg)
+			} else {
+				tables = experiments.RunAndPrint(os.Stdout, e, cfg)
+			}
+			if *csv != "" {
+				for i, t := range tables {
+					name := fmt.Sprintf("%s-%d-%s.csv", e.ID, i+1, slug(t.Title))
+					if len(procList) > 1 {
+						name = fmt.Sprintf("p%d-%s", p, name)
+					}
+					path := filepath.Join(*csv, name)
+					if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+						fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+						os.Exit(1)
+					}
 				}
 			}
-		}
-		if *jsonOut != "" {
-			je := jsonExperiment{ID: e.ID, Title: e.Title}
-			for _, t := range tables {
-				je.Tables = append(je.Tables, jsonTable{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+			if *jsonOut != "" {
+				je := jsonExperiment{ID: e.ID, Title: e.Title}
+				for _, t := range tables {
+					je.Tables = append(je.Tables, jsonTable{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+				}
+				run.Experiments = append(run.Experiments, je)
 			}
-			report.Experiments = append(report.Experiments, je)
 		}
+		report.Runs = append(report.Runs, run)
 	}
+	runtime.GOMAXPROCS(prevProcs)
+
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -141,6 +183,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseProcs resolves the -procs flag into the ascending list of
+// GOMAXPROCS values to sweep. "auto" is 1,2,4,8 capped at NumCPU — on a
+// single-CPU host that collapses to just 1, which is why explicit lists
+// may exceed NumCPU: oversubscribing Ps on few cores forces preemption
+// inside critical sections, which is the contention a scaling matrix
+// exists to measure (the parallel speedup itself still needs real
+// cores, and the report records NumCPU so readers can tell which
+// regime a curve comes from).
+func parseProcs(s string) ([]int, error) {
+	if s == "auto" {
+		out := []int{1}
+		for _, p := range []int{2, 4, 8} {
+			if p <= runtime.NumCPU() {
+				out = append(out, p)
+			}
+		}
+		return out, nil
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		p, err := strconv.Atoi(f)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-procs %q: want a comma-separated list of positive integers or 'auto'", s)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("-procs %q: duplicate value %d", s, p)
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs %q: empty list", s)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			return nil, fmt.Errorf("-procs %q: values must be ascending", s)
+		}
+	}
+	return out, nil
 }
 
 // slug converts a table title into a safe file-name fragment.
@@ -160,11 +245,17 @@ func slug(s string) string {
 	return strings.Trim(b.String(), "-")
 }
 
-// printHeader emits the EXPERIMENTS.md front matter.
+// printHeader emits the EXPERIMENTS.md front matter, describing the
+// host this run actually used rather than assuming the original
+// single-CPU recording box.
 func printHeader(cfg experiments.Config) {
 	sizes := "full"
 	if cfg.Quick {
 		sizes = "quick (reduced)"
+	}
+	host := fmt.Sprintf("GOMAXPROCS=%d, %d CPU(s)", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if runtime.NumCPU() == 1 {
+		host += " — single-CPU host: parallel variants measure contention and scheduling, not speedup (see E4/E5 notes and the E13 multiprocessor model); GOMAXPROCS>1 curves are oversubscription"
 	}
 	fmt.Printf(`# EXPERIMENTS — paper vs measured
 
@@ -179,8 +270,12 @@ index; regenerate this file with
 
     go run ./cmd/counterbench -md > EXPERIMENTS.md
 
-Environment: Go %s, %s, GOMAXPROCS=%d (single-CPU host — see E4/E5 notes
-and the E13 multiprocessor model). Problem sizes: %s.
+Per-proc scaling curves are recorded separately: a GOMAXPROCS sweep
+(-procs 1,2,4 -json) writes a counterbench/v2 report with one run per
+proc count — BENCH_6.json onward — and cmd/benchdiff joins reports per
+(benchmark, procs) pair.
 
-`, runtime.Version(), runtime.GOARCH, runtime.GOMAXPROCS(0), sizes)
+Environment: Go %s, %s, %s. Problem sizes: %s.
+
+`, runtime.Version(), runtime.GOARCH, host, sizes)
 }

@@ -66,4 +66,5 @@ func ExampleNewImpl() {
 	// atomic 3
 	// spin 3
 	// sharded 3
+	// fc 3
 }

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// FCCounter is the reference list design with a flat-combining increment
+// path for the contended regime: an Increment that finds the engine
+// mutex taken does not queue on it — it publishes its delta into a
+// flat-combining slot (fcSlots in waitlist.go) and the current lock
+// holder folds every published delta into the value before releasing,
+// waking whatever the combined total satisfies. Rivals therefore stop
+// round-tripping through the scheduler's mutex queue: a burst of k
+// contended increments costs one critical section instead of k lock
+// handoffs.
+//
+// This attacks a different regime than ShardedCounter. Sharding wins
+// while NOBODY waits (increments bypass the lock entirely) but drops to
+// the plain locked path the moment a waiter registers; flat combining
+// is indifferent to waiters — the combiner wakes them as part of its
+// fold — so it keeps helping exactly where sharding stops, on the
+// contended increment/Check-registration path. See docs/PATTERNS.md.
+//
+// The switch is at the constructor level: only counters built as
+// FCCounter route increments through the slots; the other
+// implementations' paths are byte-for-byte unchanged, and even here the
+// uncontended path is the plain locked path (TryLock succeeds, fold
+// finds no pending deltas) plus one empty-array check.
+//
+// The zero value is a valid counter with value zero.
+type FCCounter struct {
+	value atomic.Uint64 // published after the list update; monotonic
+
+	wl    waitlist
+	list  listIndex
+	slots fcSlots
+
+	// combinedIncs counts increments folded from the slots by a lock
+	// holder (Stats.FastPathIncrements — the increments that skipped the
+	// mutex queue); combines counts drain passes that folded at least
+	// one (Stats.Flushes). Both change only under wl.mu.
+	combinedIncs uint64
+	combines     uint64
+	// fastChecks counts satisfied lock-free checks; folded into
+	// Stats.ImmediateChecks alongside the engine's locked tally.
+	fastChecks stripedUint64
+}
+
+// NewFC returns a flat-combining counter with value zero. This is the
+// constructor-level switch: New() and the other constructors never
+// touch the combining machinery.
+func NewFC() *FCCounter { return new(FCCounter) }
+
+// Increment implements Interface. Uncontended it is exactly the locked
+// list path (TryLock in place of Lock); contended it publishes the delta
+// and briefly spins until a combiner folds it or the caller wins the
+// lock and combines itself, parking on the mutex only once the spin
+// budget shows the combiner is not running. Increment(0) is a no-op.
+func (c *FCCounter) Increment(amount uint64) {
+	if amount == 0 {
+		return
+	}
+	if c.wl.mu.TryLock() {
+		c.addLocked(amount)
+		c.wl.emit(EventIncrement, amount)
+		return
+	}
+	s, token := c.slots.claim(amount)
+	if s == nil {
+		// Slots exhausted (or amount too large to pack, or first-ever
+		// contention before the array exists): the plain blocking path.
+		c.wl.mu.Lock()
+		c.ensureSlotsLocked()
+		c.addLocked(amount)
+		c.wl.emit(EventIncrement, amount)
+		return
+	}
+	for i := 0; ; i++ {
+		if s.v.Load() != token {
+			// A combiner swapped our exclusive claim out and folded the
+			// delta — the fold happened under wl.mu and its wake-ups
+			// cover any level our delta satisfied.
+			c.wl.emit(EventIncrement, amount)
+			return
+		}
+		if c.wl.mu.TryLock() {
+			// We became the combiner: fold everything still pending —
+			// our own delta included, unless a previous combiner already
+			// took it (then the fold is the rivals' work, which is the
+			// whole point).
+			c.addLocked(0)
+			c.wl.emit(EventIncrement, amount)
+			return
+		}
+		switch {
+		case i < fcSpinActive:
+			// Busy reload: on a multiprocessor the combiner is running
+			// right now and the fold lands within a few loads.
+		case i < fcSpinActive+fcSpinYields:
+			// Give the combiner the processor — it may share ours.
+			runtime.Gosched()
+		default:
+			// The combiner is not progressing (oversubscribed host,
+			// preempted holder). Spinning any longer burns whole
+			// timeslices while keeping every rival runnable; parking on
+			// the mutex lets the scheduler serialize the storm, and when
+			// the lock finally arrives addLocked(0) folds our own slot
+			// if no combiner beat us to it.
+			c.wl.mu.Lock()
+			c.addLocked(0)
+			c.wl.emit(EventIncrement, amount)
+			return
+		}
+	}
+}
+
+const (
+	// fcSpinActive bounds the busy reloads a publisher spends waiting for
+	// a running combiner; fcSpinYields bounds the Gosched rounds after
+	// that. Past both, the publisher parks on the engine mutex — see the
+	// comment at the fallback. The numbers are small on purpose: a
+	// running combiner folds within a few loads, and anything slower
+	// means the combiner lost its processor, which spinning cannot fix.
+	fcSpinActive = 32
+	fcSpinYields = 4
+)
+
+// ensureSlotsLocked allocates the combining array on first need, sized
+// like every other striped structure by the stripe count at the moment
+// of capture. Called with wl.mu held. The nil check comes first so the
+// steady state never evaluates stripeCount() — runtime.GOMAXPROCS(0)
+// takes the scheduler lock, which would double the cost of every locked
+// increment.
+func (c *FCCounter) ensureSlotsLocked() {
+	if c.slots.slots.Load() == nil {
+		c.slots.ensureLocked(stripeCount())
+	}
+}
+
+// addLocked is the combiner: with wl.mu held it folds every published
+// delta plus the caller's own amount into the value, marks the newly
+// satisfied levels draining, releases the mutex, and wakes them. The
+// overflow check releases the mutex before panicking, like
+// ShardedCounter, so a host that recovers the panic is left with a
+// usable counter.
+func (c *FCCounter) addLocked(amount uint64) {
+	c.ensureSlotsLocked()
+	folded, count := c.slots.drainLocked()
+	v := c.value.Load()
+	nv := v + amount
+	if nv < v || nv+folded < nv {
+		c.wl.mu.Unlock()
+		panic("core: counter value overflow")
+	}
+	nv += folded
+	if nv != v {
+		c.value.Store(nv)
+	}
+	if amount > 0 {
+		c.wl.stats.increments++
+	}
+	if count > 0 {
+		c.wl.stats.increments += count
+		c.combinedIncs += count
+		c.combines++
+	}
+	head, _ := c.list.popSatisfied(nv)
+	for n := head; n != nil; n = n.next {
+		c.wl.satisfyLocked(n)
+	}
+	c.wl.mu.Unlock()
+	if head != nil {
+		c.wl.wakeBatch(head)
+	}
+}
+
+// foldLocked drains pending deltas on a non-increment lock holder's way
+// through the critical section — "the current lock holder folds before
+// releasing" — and returns the satisfied chain for the caller to wake
+// AFTER it releases wl.mu. Called with wl.mu held; keeps it held.
+func (c *FCCounter) foldLocked() *waitNode {
+	folded, count := c.slots.drainLocked()
+	if count == 0 {
+		return nil
+	}
+	v := c.value.Load()
+	nv := v + folded
+	if nv < v {
+		c.wl.mu.Unlock()
+		panic("core: counter value overflow")
+	}
+	c.value.Store(nv)
+	c.wl.stats.increments += count
+	c.combinedIncs += count
+	c.combines++
+	head, _ := c.list.popSatisfied(nv)
+	for n := head; n != nil; n = n.next {
+		c.wl.satisfyLocked(n)
+	}
+	return head
+}
+
+// wake releases a fold's satisfied chain; a no-op for the common nil.
+func (c *FCCounter) wake(head *waitNode) {
+	if head != nil {
+		c.wl.wakeBatch(head)
+	}
+}
+
+// Check implements Interface. The fast path is AtomicCounter's: a stale
+// read can only under-estimate the monotone value, so a satisfied read
+// is safe without the lock. The locked slow path folds pending rival
+// deltas first — they may already satisfy the level, and a lock holder
+// that combines is what keeps publishers' spins short.
+func (c *FCCounter) Check(level uint64) {
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return
+	}
+	c.wl.mu.Lock()
+	head := c.foldLocked()
+	if level <= c.value.Load() {
+		c.wl.stats.immediateChecks++
+		c.wl.mu.Unlock()
+		c.wake(head)
+		return
+	}
+	n := c.wl.join(&c.list, level)
+	c.wl.mu.Unlock()
+	c.wake(head)
+	c.wl.wait(n)
+	c.wl.drain(&c.list, n)
+}
+
+// CheckContext implements Interface. The satisfied fast path is checked
+// before the context so an already-satisfied level wins over an
+// already-cancelled context; the blocking path selects on the node's
+// ready channel, spawning no goroutine.
+func (c *FCCounter) CheckContext(ctx context.Context, level uint64) error {
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.Check(level)
+		return nil
+	}
+	c.wl.mu.Lock()
+	head := c.foldLocked()
+	if level <= c.value.Load() {
+		c.wl.stats.immediateChecks++
+		c.wl.mu.Unlock()
+		c.wake(head)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		c.wl.mu.Unlock()
+		c.wake(head)
+		return err
+	}
+	n := c.wl.join(&c.list, level)
+	c.wl.mu.Unlock()
+	c.wake(head)
+	err := c.wl.waitCtx(ctx, n)
+	c.wl.drain(&c.list, n)
+	return err
+}
+
+// Reset implements Interface. Reset must not run concurrently with any
+// other operation, so no delta can be pending in a slot (a pending delta
+// belongs to an Increment still in flight); only the value resets.
+// Stats are cumulative and survive the reset.
+func (c *FCCounter) Reset() {
+	c.wl.mu.Lock()
+	defer c.wl.mu.Unlock()
+	if c.wl.busyLocked() || c.list.head != nil {
+		panic("core: Reset called with goroutines waiting on the counter")
+	}
+	c.value.Store(0)
+}
+
+// Value implements Interface. For inspection and testing only. Deltas
+// still published in slots belong to Increment calls that have not
+// returned, so excluding them preserves linearizability.
+func (c *FCCounter) Value() uint64 { return c.value.Load() }
+
+// Stats implements StatsProvider: the engine's collector plus the
+// combining tallies. FastPathIncrements counts increments folded from
+// the slots (they skipped the mutex queue — the combining analogue of
+// the sharded fast path) and Flushes counts drain passes that folded
+// at least one.
+func (c *FCCounter) Stats() Stats {
+	// Wake-side atomics first — see waitlist.readStats for the ordering
+	// argument behind the Broadcasts <= SatisfiedLevels invariant.
+	b := c.wl.stats.broadcasts.Load()
+	cl := c.wl.stats.channelCloses.Load()
+	c.wl.mu.Lock()
+	s := c.wl.lockedStats()
+	s.FastPathIncrements = c.combinedIncs
+	s.Flushes = c.combines
+	c.wl.mu.Unlock()
+	s.Broadcasts, s.ChannelCloses = b, cl
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// SetProbe implements ProbeSetter. Every Increment emits its own
+// EventIncrement when it returns — a folded delta's event fires from
+// the publisher once it observes the fold, so event counts match call
+// counts whichever path an increment took.
+func (c *FCCounter) SetProbe(f func(Event)) {
+	c.wl.SetProbe(f)
+}
+
+var _ Interface = (*FCCounter)(nil)
+var _ StatsProvider = (*FCCounter)(nil)
+var _ ProbeSetter = (*FCCounter)(nil)

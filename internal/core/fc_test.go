@@ -1,0 +1,218 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFCCombinesUnderContention drives concurrent incrementers hard
+// enough that some lose the TryLock race and publish through the slots,
+// then checks nothing was lost or double-counted: the final value is
+// exact, every folded increment is in both Increments and
+// FastPathIncrements, and the two tallies agree.
+func TestFCCombinesUnderContention(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // make the TryLock race actually contested
+	defer runtime.GOMAXPROCS(prev)
+
+	c := NewFC()
+	const (
+		workers   = 8
+		perWorker = 20000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Increment(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := uint64(workers * perWorker)
+	if got := c.Value(); got != total {
+		t.Fatalf("Value() = %d, want %d", got, total)
+	}
+	s := c.Stats()
+	if s.Increments != total {
+		t.Fatalf("Increments = %d, want %d (combined increments must still count)", s.Increments, total)
+	}
+	if s.FastPathIncrements > s.Increments {
+		t.Fatalf("FastPathIncrements = %d > Increments = %d", s.FastPathIncrements, s.Increments)
+	}
+	if s.FastPathIncrements > 0 && s.Flushes == 0 {
+		t.Fatalf("FastPathIncrements = %d with Flushes = 0: folded deltas must count drain passes", s.FastPathIncrements)
+	}
+	t.Logf("combined %d of %d increments in %d drains", s.FastPathIncrements, s.Increments, s.Flushes)
+}
+
+// TestFCCombinedIncrementWakesWaiter pins the lost-wakeup hazard of the
+// delegation protocol: when an increment is folded by a rival lock
+// holder rather than applied by its caller, the fold must still wake
+// the waiters the combined total satisfies. A slot is claimed directly
+// (simulating a publisher mid-protocol) while a waiter is parked; the
+// next lock holder must fold it and release the waiter.
+func TestFCCombinedIncrementWakesWaiter(t *testing.T) {
+	c := NewFC()
+	c.Increment(1) // allocate the slot array (first locked increment)
+
+	released := make(chan struct{})
+	go func() {
+		c.Check(10)
+		close(released)
+	}()
+	pollStats(t, c, "fc waiter parked", func(s Stats) bool { return s.Suspends == 1 })
+
+	// Publish a delta the way a contended Increment would, without
+	// taking the lock ourselves.
+	s, token := c.slots.claim(9)
+	if s == nil || token == 0 {
+		t.Fatal("claim failed with an allocated, empty slot array")
+	}
+	// Any subsequent lock holder must fold the pending delta before
+	// releasing. Check(2) cannot pass the lock-free fast path (value is
+	// still 1), so it takes the mutex — and must come back satisfied by
+	// the delta it just folded, without ever suspending.
+	c.Check(2)
+	if st := c.Stats(); st.Suspends != 1 {
+		t.Fatalf("Suspends = %d, want 1: the folding Check must not park", st.Suspends)
+	}
+
+	select {
+	case <-released:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter not released: pending delta was not folded by the next lock holder")
+	}
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value() = %d, want 10", got)
+	}
+	if st := c.Stats(); st.FastPathIncrements != 1 {
+		t.Fatalf("FastPathIncrements = %d, want 1 (the folded delta)", st.FastPathIncrements)
+	}
+}
+
+// TestFCLargeAmountFallsBack checks that amounts too large for the
+// packed slot word take the blocking locked path and still apply
+// exactly, even under contention.
+func TestFCLargeAmountFallsBack(t *testing.T) {
+	c := NewFC()
+	const big = fcAmountCap + 5
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Increment(big)
+			for j := 0; j < 1000; j++ {
+				c.Increment(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), 4*big+4000; got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+}
+
+// TestFCOverflowPanics: the combining path must never silently wrap,
+// whether the overflowing delta arrives through the caller's own locked
+// add or a fold of published slots.
+func TestFCOverflowPanics(t *testing.T) {
+	c := NewFC()
+	c.Increment(^uint64(0) - 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing increment did not panic")
+		}
+		// The panic must have released the engine mutex (the server
+		// recovers overflow into a wire error and keeps the counter).
+		if got := c.Value(); got != ^uint64(0)-10 {
+			t.Fatalf("Value() after recovered overflow = %d, want %d", got, ^uint64(0)-10)
+		}
+	}()
+	c.Increment(100)
+}
+
+// TestStripeCountCapturedOnce is the regression test for the
+// stripe-count capture bug: the shard cells and the striped stats cells
+// used to size themselves from runtime.GOMAXPROCS(0) at whichever
+// moment each was first touched, so a GOMAXPROCS change between those
+// moments produced arrays that disagreed about the stripe space. The
+// count must now be captured once per counter; raising and lowering
+// GOMAXPROCS mid-run must neither index out of range nor lose counts.
+func TestStripeCountCapturedOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, impl := range []Impl{ImplSharded, ImplFC, ImplAtomic} {
+		t.Run(string(impl), func(t *testing.T) {
+			runtime.GOMAXPROCS(2)
+			c := NewImpl(impl)
+			var total atomic.Uint64
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						c.Increment(1)
+						total.Add(1)
+						c.Check(1) // exercise the striped fast-check cells too
+					}
+				}()
+			}
+			// Thrash the proc count while the stripes are in use: any
+			// array sized from a fresh GOMAXPROCS read instead of the
+			// captured count would change length under the workers.
+			for _, n := range []int{8, 1, 4, 2, 16, 1} {
+				runtime.GOMAXPROCS(n)
+				time.Sleep(2 * time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+			if got, want := c.Value(), total.Load(); got != want {
+				t.Fatalf("Value() = %d, want %d: counts lost across GOMAXPROCS changes", got, want)
+			}
+			sp := c.(StatsProvider)
+			if s := sp.Stats(); s.Increments != total.Load() {
+				t.Fatalf("Increments = %d, want %d", s.Increments, total.Load())
+			}
+		})
+	}
+}
+
+// TestShardedStatsCellsSizedWithShards pins the capture point: after the
+// shard array exists, the fast-check stats cells must exist with the
+// same length, whatever GOMAXPROCS says now.
+func TestShardedStatsCellsSizedWithShards(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(4)
+	c := NewSharded()
+	c.Increment(1) // allocates the shard cells, and with them the stats cells
+	runtime.GOMAXPROCS(1)
+
+	shards := c.shards.Load()
+	stats := c.fastChecks.cells.Load()
+	if shards == nil || stats == nil {
+		t.Fatalf("arrays not co-allocated: shards=%v statsCells=%v", shards != nil, stats != nil)
+	}
+	if len(*shards) != len(*stats) {
+		t.Fatalf("shard cells (%d) and stats cells (%d) disagree about the stripe count", len(*shards), len(*stats))
+	}
+	if len(*shards) != 4 {
+		t.Fatalf("stripe count = %d, want the captured 4, not the current GOMAXPROCS", len(*shards))
+	}
+}

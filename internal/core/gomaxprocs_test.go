@@ -1,0 +1,45 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Every trajectory point through BENCH_5 was recorded at GOMAXPROCS=1,
+// and on a single-CPU host the default test run never exercises the
+// per-node wake locks or the sharded gate with more than one P. These
+// wrappers rerun the scheduling-sensitive suites at GOMAXPROCS=4 —
+// oversubscribed on a small host, which is exactly what forces
+// preemption inside critical sections — so the race detector sees the
+// wake and combining protocols under real interleaving. CI runs the
+// whole core package again with GOMAXPROCS=4 in the environment; these
+// wrappers keep the coverage on any host, whatever the environment says.
+
+// withGOMAXPROCS pins the proc count for the duration of the test,
+// restoring the previous value after every subtest (parallel ones
+// included) has finished.
+func withGOMAXPROCS(t *testing.T, n int) {
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestWakeStormExactResumesGOMAXPROCS4 reruns the wake-storm selectivity
+// guard with four Ps: the out-of-lock wake batches and per-node wake
+// locks finally run with incrementer, joiners, and drainers truly
+// interleaved.
+func TestWakeStormExactResumesGOMAXPROCS4(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	runWakeStormExactResumes(t)
+}
+
+// TestStressRandomizedOpsGOMAXPROCS4 reruns the randomized conformance
+// stress mix with four Ps, which is what makes the sharded gate's
+// raise/flush/divert dance and the flat-combining claim/fold protocol
+// actually race.
+func TestStressRandomizedOpsGOMAXPROCS4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	withGOMAXPROCS(t, 4)
+	runStressRandomizedOps(t)
+}

@@ -13,10 +13,11 @@ const (
 	ImplAtomic    Impl = "atomic"    // list design + lock-free fast path
 	ImplSpin      Impl = "spin"      // spin-then-block hybrid over the atomic design
 	ImplSharded   Impl = "sharded"   // waiter-gated striped increment fast path
+	ImplFC        Impl = "fc"        // flat-combining contended increment path
 )
 
 // Impls lists every implementation, reference design first.
-var Impls = []Impl{ImplList, ImplHeap, ImplChan, ImplBroadcast, ImplAtomic, ImplSpin, ImplSharded}
+var Impls = []Impl{ImplList, ImplHeap, ImplChan, ImplBroadcast, ImplAtomic, ImplSpin, ImplSharded, ImplFC}
 
 // Registry returns the implementations every conformance, fuzz,
 // cancellation, and stress suite must cover. Test code iterates this
@@ -45,6 +46,8 @@ func NewImpl(impl Impl) Interface {
 		return NewSpin()
 	case ImplSharded:
 		return NewSharded()
+	case ImplFC:
+		return NewFC()
 	}
 	panic("core: unknown counter implementation " + string(impl))
 }
@@ -60,6 +63,7 @@ var (
 	_ StatsProvider = (*AtomicCounter)(nil)
 	_ StatsProvider = (*SpinCounter)(nil)
 	_ StatsProvider = (*ShardedCounter)(nil)
+	_ StatsProvider = (*FCCounter)(nil)
 
 	_ ProbeSetter = (*Counter)(nil)
 	_ ProbeSetter = (*HeapCounter)(nil)
@@ -67,4 +71,5 @@ var (
 	_ ProbeSetter = (*AtomicCounter)(nil)
 	_ ProbeSetter = (*SpinCounter)(nil)
 	_ ProbeSetter = (*ShardedCounter)(nil)
+	_ ProbeSetter = (*FCCounter)(nil)
 )

@@ -125,18 +125,21 @@ type shardCell struct {
 func NewSharded() *ShardedCounter { return new(ShardedCounter) }
 
 // cells returns the shard array, allocating it under the engine mutex on
-// first use so the zero value needs no constructor.
+// first use so the zero value needs no constructor. The stripe count is
+// captured exactly once, here, and sizes BOTH of the counter's striped
+// arrays — the shard cells and the fast-check stats cells — so a
+// GOMAXPROCS change mid-run can never leave the two disagreeing about
+// the stripe space (they used to size themselves at whichever moment
+// each was first touched). Indexing is clamped to the allocated length
+// by construction: every lookup masks by len-1 of the array it loaded.
 func (c *ShardedCounter) cells() []shardCell {
 	if p := c.shards.Load(); p != nil {
 		return *p
 	}
 	c.wl.mu.Lock()
 	if c.shards.Load() == nil {
-		n := runtime.GOMAXPROCS(0)
-		size := 1
-		for size < n {
-			size <<= 1
-		}
+		size := stripeCount()
+		c.fastChecks.ensure(size)
 		s := make([]shardCell, size)
 		c.shards.Store(&s)
 	}

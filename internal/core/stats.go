@@ -17,8 +17,8 @@ import (
 
 // Stats are cumulative cost-model measurements for one counter — the
 // section 7 claims ("storage and time proportional to distinct waited-on
-// levels, not waiters") made observable, in one schema for all seven
-// implementations. Counters only ever grow; Reset does NOT clear them
+// levels, not waiters") made observable, in one schema for every
+// registered implementation. Counters only ever grow; Reset does NOT clear them
 // (a reused counter keeps its lifetime totals, so long-running
 // deployments can export them as monotone metrics).
 //
@@ -65,12 +65,14 @@ type Stats struct {
 	// SpinRounds counts yield-spin probes made before suspending
 	// (SpinCounter only; zero elsewhere).
 	SpinRounds uint64
-	// FastPathIncrements counts increments absorbed by the lock-free
-	// striped fast path (ShardedCounter only). Always included in
-	// Increments.
+	// FastPathIncrements counts increments that never queued on the
+	// engine mutex: absorbed by the lock-free striped fast path
+	// (ShardedCounter) or folded from flat-combining slots by a lock
+	// holder (FCCounter). Zero elsewhere; always included in Increments.
 	FastPathIncrements uint64
-	// Flushes counts residue-flush passes folding shard cells into the
-	// published value (ShardedCounter only).
+	// Flushes counts fold passes bringing out-of-lock increments into
+	// the published value: residue flushes (ShardedCounter) or
+	// combining drains that folded at least one delta (FCCounter).
 	Flushes uint64
 }
 
@@ -125,6 +127,27 @@ type ProbeSetter interface {
 	SetProbe(func(Event))
 }
 
+// stripeCount returns the number of cells a striped structure should
+// allocate: GOMAXPROCS at the moment of the call, rounded up to a power
+// of two. Callers must capture the result ONCE per structure — at
+// construction or first use — and size/index off that capture forever:
+// GOMAXPROCS can be raised or lowered mid-run, and two arrays belonging
+// to one counter that sized themselves at different moments would
+// disagree about the stripe space (the bug behind the
+// TestStripeCountCapturedOnce regression test). Indexing stays in range
+// regardless because stripeIndex masks by the actual array length.
+func stripeCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return size
+}
+
 // stripeIndex picks a stripe from the address of a stack variable:
 // stacks are per-goroutine, so concurrent callers spread across cells.
 // The mapping is only statistical — Go moves goroutine stacks when they
@@ -141,13 +164,26 @@ func stripeIndex(mask uint64) uint64 {
 }
 
 // stripedUint64 is a contention-spread counter for lock-free fast paths:
-// Add lands on one of GOMAXPROCS cache-padded cells chosen by
+// Add lands on one of stripeCount cache-padded cells chosen by
 // stripeIndex, so concurrent fast-path callers do not serialize on one
 // cache line; Load sums the cells (a momentary snapshot, like any
 // concurrent counter read). The zero value is ready to use; cells are
-// allocated on first Add.
+// allocated on first Add, or — for counters that own other striped
+// arrays — by ensure, so every array of one counter captures the same
+// stripe count at the same moment.
 type stripedUint64 struct {
 	cells atomic.Pointer[[]paddedUint64]
+}
+
+// ensure allocates the cell array with the given size if none exists
+// yet, letting the owning counter size all its striped structures from
+// one stripeCount capture. Concurrency-safe; the first allocation wins.
+func (s *stripedUint64) ensure(size int) {
+	if s.cells.Load() != nil {
+		return
+	}
+	fresh := make([]paddedUint64, size)
+	s.cells.CompareAndSwap(nil, &fresh)
 }
 
 type paddedUint64 struct {
@@ -164,15 +200,11 @@ func (s *stripedUint64) Add(n uint64) {
 }
 
 // initCells allocates the cell array once; racing initializers agree on
-// the winner via CompareAndSwap, so no counts are ever lost.
+// the winner via CompareAndSwap, so no counts are ever lost. The stripe
+// count is captured exactly once — whatever GOMAXPROCS says later, the
+// array and the masks derived from its length never change.
 func (s *stripedUint64) initCells() *[]paddedUint64 {
-	n := runtime.GOMAXPROCS(0)
-	size := 1
-	for size < n {
-		size <<= 1
-	}
-	fresh := make([]paddedUint64, size)
-	s.cells.CompareAndSwap(nil, &fresh)
+	s.ensure(stripeCount())
 	return s.cells.Load()
 }
 

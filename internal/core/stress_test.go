@@ -22,6 +22,12 @@ func TestStressRandomizedOps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
+	runStressRandomizedOps(t)
+}
+
+// runStressRandomizedOps is the body of TestStressRandomizedOps, shared
+// with the GOMAXPROCS=4 wrapper in gomaxprocs_test.go.
+func runStressRandomizedOps(t *testing.T) {
 	for _, impl := range Registry() {
 		impl := impl
 		t.Run(string(impl), func(t *testing.T) {

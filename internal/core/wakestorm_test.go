@@ -18,8 +18,12 @@ import (
 // (ready-channel path), so one batched broadcast exercises both wake
 // mechanisms at once. Runs against every registered implementation;
 // under -race this doubles as the happens-before proof for the
-// release-then-wake protocol.
-func TestWakeStormExactResumes(t *testing.T) {
+// release-then-wake protocol. runWakeStormExactResumes is the body so
+// the GOMAXPROCS=4 wrapper (gomaxprocs_test.go) can rerun it with true
+// preemption among the Ps.
+func TestWakeStormExactResumes(t *testing.T) { runWakeStormExactResumes(t) }
+
+func runWakeStormExactResumes(t *testing.T) {
 	const (
 		low      = 96 // waiters at the satisfied level
 		high     = 48 // waiters spread across higher levels

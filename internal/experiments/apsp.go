@@ -59,7 +59,7 @@ func init() {
 			"single object.",
 		Notes: "The counter variant tracks the condvar-array variant closely (within a few percent " +
 			"in every row) while allocating one object instead of N — the paper's equivalence claim. " +
-			"On this single-CPU host all parallel variants serialize to the same total work, so " +
+			"With fewer real cores than threads the parallel variants serialize to the same total work, so " +
 			"barrier-vs-ragged wall time is near 1x here; the multiprocessor form of the claim is " +
 			"measured in E13 on the makespan model, where the counter dataflow wins decisively.",
 		Run: func(cfg Config) []*harness.Table {

@@ -6,9 +6,10 @@ import (
 	"monotonic/internal/workload"
 )
 
-// E13: multiprocessor makespan model. The reproduction host has one CPU,
-// so wall-clock comparisons (E4, E5) cannot show parallel overlap: with
-// every discipline the total work serializes. This experiment substitutes
+// E13: multiprocessor makespan model. Wall-clock comparisons (E4, E5)
+// can only show parallel overlap when the host has as many real cores as
+// worker threads; below that the total work serializes under every
+// discipline. This experiment substitutes
 // a discrete-event model of P processors (DESIGN.md substitution table)
 // and measures the paper's actual performance claim — under per-step work
 // variation, a ragged barrier's local dependencies beat a full barrier's
@@ -20,8 +21,9 @@ func init() {
 		Title: "Multiprocessor makespan model: ragged vs full barrier (simulated P CPUs)",
 		Paper: "Sections 4 and 5.1 claim counters' local dependencies beat global barriers on a " +
 			"multiprocessor: barriers serialize every step on the slowest thread, while ragged " +
-			"synchronization lets delays average out. The reproduction host has one CPU, so this " +
-			"claim is measured on a discrete-event model of P processors (DESIGN.md substitution).",
+			"synchronization lets delays average out. A host short of real cores cannot show the " +
+			"overlap in wall time (raising GOMAXPROCS only oversubscribes), so this claim is " +
+			"measured on a discrete-event model of P processors (DESIGN.md substitution).",
 		Notes: "With no work variation the disciplines tie (nothing to exploit). Under per-task " +
 			"noise, raggedness wins and the advantage grows with both thread count and variance " +
 			"(Lubachevsky's classical result); the APSP counter dataflow stays near the ideal " +

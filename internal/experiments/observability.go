@@ -58,7 +58,8 @@ func init() {
 			"experiment checks that the cost model is observable in production at negligible " +
 			"price: every implementation reports the same Stats schema, and the probe hook " +
 			"costs nothing measurable while disabled.",
-		Notes: "(BENCH_4.json.) Table 1 runs one fixed scenario against all seven implementations " +
+		Notes: "(BENCH_4.json; predates the fc design, which reports through the same schema.) " +
+			"Table 1 runs one fixed scenario against every registered implementation " +
 			"and prints their Stats verbatim: the six level-indexed designs agree on every " +
 			"engine-side field (peak 8, satisfied 8, suspends 64, immediate 3, increments 8), " +
 			"the chan design reports its 8 wake-ups as channel closes where the others report " +
@@ -75,8 +76,8 @@ func init() {
 			"existing CAS). A counting probe adds ~7ns per event (1.3-1.4x). Table 3 prices a " +
 			"Stats() snapshot at 21-65ns: it takes the engine mutex once, so it is for scrape " +
 			"intervals, not inner loops. E20's fan-out rows in the same diff swing +-30% both " +
-			"directions between identical binaries — that table is scheduler-dominated on a " +
-			"single CPU, as its own notes record.",
+			"directions between identical binaries — that table is scheduler-dominated whenever " +
+			"waiters outnumber real cores, as its own notes record.",
 		Run: func(cfg Config) []*harness.Table {
 			waiters, levels := 64, 8
 			incIters, reps := 200000, 9

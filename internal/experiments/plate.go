@@ -19,9 +19,10 @@ func init() {
 			"counter protocol to a tiled 2-D plate: each tile's counter reaching 2t-1/2t plays " +
 			"the identical role, against at most four neighbours instead of two.",
 		Notes: "Both protocols produce bit-identical fields for every tiling, with and without " +
-			"skew. On this single CPU the ragged version costs roughly 2x wall time: it pays for " +
-			"halo snapshots and eight counter operations per tile per step while no parallel " +
-			"overlap exists to recoup them (the barrier version reads neighbours in place). That " +
+			"skew. Without enough real cores for the tiles the ragged version costs roughly 2x " +
+			"wall time: it pays for halo snapshots and eight counter operations per tile per " +
+			"step while no parallel overlap exists to recoup them (the barrier version reads " +
+			"neighbours in place). That " +
 			"is the honest price of eliminating the global rendezvous; E13's multiprocessor model " +
 			"shows where the trade pays off. The table's point here is 2-D protocol correctness " +
 			"under every tiling and skew.",

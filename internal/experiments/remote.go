@@ -139,8 +139,7 @@ func init() {
 			}
 
 			rtt := harness.NewTable(
-				"Increment→Check round trip, one counter, one session (GOMAXPROCS="+
-					harness.I(runtime.GOMAXPROCS(0))+", reps="+harness.I(rttReps)+")",
+				"Increment→Check round trip, one counter, one session (reps="+harness.I(rttReps)+")",
 				"path", "median", "min", "max")
 			lt := localRTT(rttReps)
 			rt := remoteRTT(addr, rttReps)

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"monotonic/internal/core"
+	"monotonic/internal/harness"
+)
+
+// E23: the GOMAXPROCS scaling matrix. E19 prices the contended increment
+// storm at one proc count; this experiment sweeps the same storm across
+// GOMAXPROCS ∈ {1, 2, 4} inside a single run, so one table carries each
+// implementation's whole scaling curve and the flat-combining design can
+// be judged on the regime it exists for — rival incrementers colliding
+// on the engine mutex. The counterbench -procs sweep produces the same
+// curves for every experiment; this one embeds the sweep so a plain
+// single-proc -md run still records it.
+func init() {
+	register(Experiment{
+		ID:    "E23",
+		Title: "GOMAXPROCS scaling: contended increment storm across proc counts",
+		Paper: "Not in the paper: the section 7 cost model is sequential. Every locked design " +
+			"serializes Increment, so adding procs can only add mutex convoying; the sharded " +
+			"design shards the update away, and the fc design keeps one value but lets the " +
+			"current lock holder fold rival increments published in per-proc combining slots, " +
+			"so a blocked rival costs one slot CAS instead of a scheduler round trip through " +
+			"the mutex queue.",
+		Notes: "Read each row left to right as a scaling curve; the last column is the " +
+			"p=4-to-p=1 slowdown (cmd/benchdiff compares these curves between reports). On " +
+			"the recording box — one real CPU — the matrix measures oversubscription, and " +
+			"the honest result is that flat combining cannot show its win here: sharded " +
+			"stays flattest (disjoint stripes), the blocking designs stay within ~1.1-2x " +
+			"because parked rivals self-serialize into long uncontended runs, fc's curve sits " +
+			"at the flat end of that band (its bounded publisher spin parks before burning a " +
+			"timeslice), and the " +
+			"share table reads ~0%: a publisher only exists while the lock HOLDER is " +
+			"preempted mid-critical-section, which async preemption produces about once per " +
+			"10ms on one core, so folds are vanishingly rare. A CPU profile of the p=4 " +
+			"storm confirms it — the samples are sync.Mutex lock/unlock plus scheduler work " +
+			"(runtime.casgstatus, runtime.schedule); the combining drain never gets hot. " +
+			"What fc pays meanwhile is its constant overhead: BenchmarkIncrement puts the " +
+			"uncontended locked path at ~27ns vs atomic's ~22ns (the slot-drain load and " +
+			"combining tallies; it was 44ns until the steady-state path stopped calling " +
+			"runtime.GOMAXPROCS, whose scheduler lock doubled every increment). Combining " +
+			"pays exactly when rivals collide with a RUNNING holder, which needs two or " +
+			"more real cores — on such a host the share moves off zero and this matrix is " +
+			"the regression gate for it; on this one, the GOMAXPROCS=4 race legs keep the " +
+			"claim/fold protocol correct while the curves gate the oversubscription cost.",
+		Run: func(cfg Config) []*harness.Table {
+			workers, perWorker, reps := 8, 100000, 5
+			if cfg.Quick {
+				workers, perWorker, reps = 4, 10000, 3
+			}
+			procs := []int{1, 2, 4}
+
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+
+			headers := []string{"implementation"}
+			for _, p := range procs {
+				headers = append(headers, fmt.Sprintf("p=%d", p))
+			}
+			headers = append(headers, fmt.Sprintf("p=%d vs p=1", procs[len(procs)-1]))
+			matrix := harness.NewTable(
+				"Contended storm medians across GOMAXPROCS: "+harness.I(workers)+" goroutines x "+
+					harness.I(perWorker)+" unit increments",
+				headers...)
+			for _, impl := range core.Registry() {
+				impl := impl
+				meds := make([]time.Duration, 0, len(procs))
+				row := []string{string(impl)}
+				for _, p := range procs {
+					runtime.GOMAXPROCS(p)
+					tm := harness.Measure(reps, func() {
+						incrementStorm(core.NewImpl(impl), workers, perWorker)
+					})
+					meds = append(meds, tm.Median())
+					row = append(row, harness.Dur(tm.Median()))
+				}
+				row = append(row, harness.Ratio(float64(meds[len(meds)-1])/float64(meds[0])))
+				matrix.Add(row...)
+			}
+
+			share := harness.NewTable(
+				"Mutex-avoidance share: increments that never queued on the engine mutex "+
+					"(sharded: stripes; fc: folded from combining slots)",
+				append([]string{"implementation"}, headers[1:len(headers)-1]...)...)
+			for _, impl := range []core.Impl{core.ImplSharded, core.ImplFC} {
+				row := []string{string(impl)}
+				for _, p := range procs {
+					runtime.GOMAXPROCS(p)
+					c := core.NewImpl(impl)
+					incrementStorm(c, workers, perWorker)
+					s := c.(core.StatsProvider).Stats()
+					row = append(row, fmt.Sprintf("%.1f%%", 100*float64(s.FastPathIncrements)/float64(s.Increments)))
+				}
+				share.Add(row...)
+			}
+			return []*harness.Table{matrix, share}
+		},
+	})
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -51,10 +50,13 @@ func init() {
 			"increment path on \"are there waiters?\", paying the exact locked path only while " +
 			"someone waits.",
 		Notes: "With no waiters the sharded counter's increments are one CAS on a private cache " +
-			"line, so it leads every locked design even on one CPU (no scheduler round trips) and " +
-			"the gap widens with cores. With a waiter parked the gate forces the exact locked " +
-			"path and sharded tracks the atomic/list cost — the fast path is bought only when " +
-			"its absence of waiters makes it safe.",
+			"line, so it leads every locked design at any proc count (no scheduler round trips), " +
+			"and the gap widens as GOMAXPROCS grows — the per-proc curves live in the " +
+			"counterbench/v2 sweep (BENCH_6.json) and E23. The fc design instead keeps the " +
+			"single value but lets the lock holder fold rivals' published deltas, trading " +
+			"sharded's flush cost for combining. With a waiter parked the gate forces the exact " +
+			"locked path and sharded tracks the atomic/list cost — the fast path is bought only " +
+			"when its absence of waiters makes it safe.",
 		Run: func(cfg Config) []*harness.Table {
 			workers, perWorker, reps := 8, 100000, 5
 			if cfg.Quick {
@@ -63,7 +65,7 @@ func init() {
 			ops := workers * perWorker
 
 			noWait := harness.NewTable("No waiters: "+harness.I(workers)+" goroutines x "+
-				harness.I(perWorker)+" unit increments (GOMAXPROCS="+harness.I(runtime.GOMAXPROCS(0))+")",
+				harness.I(perWorker)+" unit increments",
 				"implementation", "median", "increments/sec", "vs list")
 			var base harness.Timing
 			for _, impl := range core.Registry() {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -105,8 +104,7 @@ func init() {
 			}
 
 			single := harness.NewTable(
-				"Single level: N waiters on one level, one Increment, median time to last resume (GOMAXPROCS="+
-					harness.I(runtime.GOMAXPROCS(0))+")",
+				"Single level: N waiters on one level, one Increment, median time to last resume",
 				headers(singleNs)...)
 			for _, impl := range core.Registry() {
 				row := []string{string(impl)}
