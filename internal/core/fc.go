@@ -79,9 +79,10 @@ func (c *FCCounter) Increment(amount uint64) {
 	}
 	for i := 0; ; i++ {
 		if s.v.Load() != token {
-			// A combiner swapped our exclusive claim out and folded the
-			// delta — the fold happened under wl.mu and its wake-ups
-			// cover any level our delta satisfied.
+			// A combiner freed our exclusive claim — and it does that only
+			// AFTER storing the folded value and marking the satisfied
+			// levels (the two-phase fold), so from here Value() reflects
+			// our delta and the wake-ups cover any level it satisfied.
 			c.wl.emit(EventIncrement, amount)
 			return
 		}
@@ -127,27 +128,37 @@ const (
 	fcSpinYields = 4
 )
 
-// ensureSlotsLocked allocates the combining array on first need, sized
-// like every other striped structure by the stripe count at the moment
-// of capture. Called with wl.mu held. The nil check comes first so the
-// steady state never evaluates stripeCount() — runtime.GOMAXPROCS(0)
-// takes the scheduler lock, which would double the cost of every locked
-// increment.
+// ensureSlotsLocked allocates the combining array on first need. The
+// stripe count is captured exactly once, here, and sizes BOTH of the
+// counter's striped structures — the combining slots and the fast-check
+// stats cells — mirroring ShardedCounter.cells, so a GOMAXPROCS change
+// mid-run can never leave the two disagreeing about the stripe space.
+// Called with wl.mu held. The nil check comes first so the steady state
+// never evaluates stripeCount() — runtime.GOMAXPROCS(0) takes the
+// scheduler lock, which would double the cost of every locked increment.
 func (c *FCCounter) ensureSlotsLocked() {
 	if c.slots.slots.Load() == nil {
-		c.slots.ensureLocked(stripeCount())
+		size := stripeCount()
+		c.fastChecks.ensure(size)
+		c.slots.ensureLocked(size)
 	}
 }
 
 // addLocked is the combiner: with wl.mu held it folds every published
 // delta plus the caller's own amount into the value, marks the newly
-// satisfied levels draining, releases the mutex, and wakes them. The
-// overflow check releases the mutex before panicking, like
-// ShardedCounter, so a host that recovers the panic is left with a
-// usable counter.
+// satisfied levels draining, frees the collected slots, releases the
+// mutex, and wakes the satisfied levels. The fold is two-phase (see
+// fcSlots): the slots are freed only after the value store and
+// satisfyLocked, so a publisher that observes its slot freed — its
+// signal to return from Increment — is guaranteed Value() and the
+// waiter states already reflect its delta. The overflow check releases
+// the mutex before panicking, like ShardedCounter, so a host that
+// recovers the panic is left with a usable counter — and it fires
+// before the slots are freed, so collected rival deltas stay published
+// rather than being discarded while their publishers report success.
 func (c *FCCounter) addLocked(amount uint64) {
 	c.ensureSlotsLocked()
-	folded, count := c.slots.drainLocked()
+	folded, count := c.slots.collectLocked()
 	v := c.value.Load()
 	nv := v + amount
 	if nv < v || nv+folded < nv {
@@ -170,6 +181,9 @@ func (c *FCCounter) addLocked(amount uint64) {
 	for n := head; n != nil; n = n.next {
 		c.wl.satisfyLocked(n)
 	}
+	if count > 0 {
+		c.slots.releaseLocked()
+	}
 	c.wl.mu.Unlock()
 	if head != nil {
 		c.wl.wakeBatch(head)
@@ -181,13 +195,16 @@ func (c *FCCounter) addLocked(amount uint64) {
 // releasing" — and returns the satisfied chain for the caller to wake
 // AFTER it releases wl.mu. Called with wl.mu held; keeps it held.
 func (c *FCCounter) foldLocked() *waitNode {
-	folded, count := c.slots.drainLocked()
+	folded, count := c.slots.collectLocked()
 	if count == 0 {
 		return nil
 	}
 	v := c.value.Load()
 	nv := v + folded
 	if nv < v {
+		// Panic with the collected slots still claimed (releaseLocked not
+		// reached): the publishers' deltas are neither lost nor falsely
+		// acknowledged — see releaseLocked.
 		c.wl.mu.Unlock()
 		panic("core: counter value overflow")
 	}
@@ -199,6 +216,7 @@ func (c *FCCounter) foldLocked() *waitNode {
 	for n := head; n != nil; n = n.next {
 		c.wl.satisfyLocked(n)
 	}
+	c.slots.releaseLocked()
 	return head
 }
 

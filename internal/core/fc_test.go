@@ -96,6 +96,78 @@ func TestFCCombinedIncrementWakesWaiter(t *testing.T) {
 	}
 }
 
+// TestFCIncrementVisibleOnReturn pins the two-phase fold ordering:
+// Increment's synchronous contract says that once it returns, Value()
+// reflects the caller's delta. A single-pass fold that freed a
+// publisher's slot before storing the combined value would let the
+// publisher return — and read Value() — while its own delta was still
+// in flight. Each worker therefore asserts, immediately after every
+// Increment(1), that Value() covers at least its own running total (the
+// value is monotonic, so rivals' deltas can only push it higher).
+func TestFCIncrementVisibleOnReturn(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	c := NewFC()
+	const (
+		workers   = 8
+		perWorker = 20000
+	)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for mine := uint64(1); mine <= perWorker; mine++ {
+				c.Increment(1)
+				if got := c.Value(); got < mine {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("Increment returned before its delta was visible in Value()")
+	}
+	if got, want := c.Value(), uint64(workers*perWorker); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+}
+
+// TestFCOverflowKeepsPendingSlots: when a fold would overflow, the
+// combiner must panic with the collected slots still claimed. Freeing
+// them first would tell each spinning publisher its increment succeeded
+// while the delta was discarded — a silent loss after a recovered
+// panic. The pending publisher instead stays unacknowledged and folds
+// (and panics) itself when it eventually takes the lock.
+func TestFCOverflowKeepsPendingSlots(t *testing.T) {
+	c := NewFC()
+	c.Increment(^uint64(0) - 10) // near the top; also allocates the slots
+	s, token := c.slots.claim(100)
+	if s == nil {
+		t.Fatal("claim failed with an allocated, empty slot array")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("overflowing fold did not panic")
+			}
+		}()
+		c.Check(^uint64(0)) // locked slow path: folds the pending delta
+	}()
+	if got := s.v.Load(); got != token {
+		t.Fatalf("slot = %#x after overflow panic, want the claim token %#x still published", got, token)
+	}
+	if got := c.Value(); got != ^uint64(0)-10 {
+		t.Fatalf("Value() after recovered overflow = %d, want %d", got, ^uint64(0)-10)
+	}
+	// Clean up the manual claim so the counter is quiescent again.
+	s.v.Store(0)
+}
+
 // TestFCLargeAmountFallsBack checks that amounts too large for the
 // packed slot word take the blocking locked path and still apply
 // exactly, even under contention.
@@ -189,6 +261,32 @@ func TestStripeCountCapturedOnce(t *testing.T) {
 				t.Fatalf("Increments = %d, want %d", s.Increments, total.Load())
 			}
 		})
+	}
+}
+
+// TestFCStatsCellsSizedWithSlots pins FCCounter's capture point the same
+// way: allocating the combining slots must co-allocate the fast-check
+// stats cells from the one captured stripe count, so the counter's two
+// striped structures can never disagree about the stripe space.
+func TestFCStatsCellsSizedWithSlots(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(4)
+	c := NewFC()
+	c.Increment(1) // allocates the combining slots, and with them the stats cells
+	runtime.GOMAXPROCS(1)
+
+	slots := c.slots.slots.Load()
+	stats := c.fastChecks.cells.Load()
+	if slots == nil || stats == nil {
+		t.Fatalf("arrays not co-allocated: slots=%v statsCells=%v", slots != nil, stats != nil)
+	}
+	if len(*slots) != len(*stats) {
+		t.Fatalf("combining slots (%d) and stats cells (%d) disagree about the stripe count", len(*slots), len(*stats))
+	}
+	if len(*slots) != 4 {
+		t.Fatalf("stripe count = %d, want the captured 4, not the current GOMAXPROCS", len(*slots))
 	}
 }
 

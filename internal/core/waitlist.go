@@ -396,9 +396,9 @@ func (w *waitlist) busyLocked() bool {
 // in any order.
 //
 // The array is engine-level machinery but strictly opt-in: only an
-// implementation that routes its Increment through claim/drainLocked
-// (FCCounter, constructor NewFC) pays anything; every other counter's
-// paths are untouched.
+// implementation that routes its Increment through claim and the
+// collect/release fold (FCCounter, constructor NewFC) pays anything;
+// every other counter's paths are untouched.
 //
 // Claim protocol: a slot is free while zero. A publisher claims one with
 // a single CAS of the packed word amount<<fcTagBits|tag (tag: a nonzero
@@ -414,11 +414,21 @@ func (w *waitlist) busyLocked() bool {
 //
 // A publisher returns only after its delta is folded (by itself or a
 // combiner), so Increment keeps its synchronous contract: once it
-// returns, Value() and every satisfied waiter reflect the delta.
+// returns, Value() and every satisfied waiter reflect the delta. That
+// contract is why the fold is two-phase: the combiner first reads every
+// claimed slot (collectLocked), stores the combined value, and only then
+// frees the slots (releaseLocked). Freeing a slot is the publisher's
+// signal to return, so it must happen strictly after the value store —
+// a single-pass swap-then-store fold would let a publisher return, read
+// Value(), and miss its own delta.
 type fcSlots struct {
 	// slots is allocated once, sized by the stripe count captured at
 	// first use (same capture discipline as ShardedCounter's cells).
 	slots atomic.Pointer[[]fcSlot]
+	// drained records, per slot, the token collectLocked read there (zero
+	// for a free slot), telling releaseLocked which slots the in-flight
+	// fold owns. Guarded by the engine mutex, like the fold itself.
+	drained []uint64
 }
 
 // fcSlot is one publication record, padded like a shard cell so
@@ -456,6 +466,7 @@ func (f *fcSlots) ensureLocked(stripes int) *[]fcSlot {
 	if p := f.slots.Load(); p != nil {
 		return p
 	}
+	f.drained = make([]uint64, stripes)
 	s := make([]fcSlot, stripes)
 	f.slots.Store(&s)
 	return &s
@@ -486,32 +497,60 @@ func (f *fcSlots) claim(amount uint64) (*fcSlot, uint64) {
 	return nil, 0
 }
 
-// drainLocked swaps every claimed slot free and returns the summed
-// deltas plus how many publications were folded. Called with the engine
-// mutex held — the caller is the combiner and must fold the sum into
-// the value before releasing. The sum cannot wrap: each delta is below
-// fcAmountCap (2^47) and the array holds at most a few dozen slots.
-func (f *fcSlots) drainLocked() (sum uint64, count uint64) {
+// collectLocked is phase one of the two-phase fold: it reads every
+// claimed slot's token WITHOUT freeing it and returns the summed deltas
+// plus how many publications it collected, recording per slot what it
+// read so releaseLocked can free exactly those slots. The snapshot is
+// stable: a publisher writes a claimed slot exactly once (the free→token
+// CAS) and only a lock holder ever clears one, so while the engine mutex
+// is held every token read here stays put until phase two. A claim
+// published after its slot is read simply waits for the next lock holder
+// (or its publisher's own TryLock), which the claim protocol allows.
+//
+// The caller must store the combined value — and take any
+// overflow panic — BEFORE calling releaseLocked: freeing a slot is what
+// lets its spinning publisher return from Increment, so it must
+// happen-after the value store or a publisher could return while Value()
+// is still stale. Called with the engine mutex held. The sum cannot
+// wrap: each delta is below fcAmountCap (2^47) and the array holds at
+// most a few dozen slots.
+func (f *fcSlots) collectLocked() (sum uint64, count uint64) {
 	p := f.slots.Load()
 	if p == nil {
 		return 0, 0
 	}
 	for i := range *p {
-		s := &(*p)[i]
-		// Load before Swap: an empty slot stays a shared cache-line read
-		// instead of an exclusive RMW, so the uncontended drain costs k
-		// loads, not k bus locks. A claim published between the load and
-		// this pass simply waits for the next lock holder (or its
-		// publisher's own TryLock), which the claim protocol allows.
-		if s.v.Load() == 0 {
-			continue
-		}
-		if old := s.v.Swap(0); old != 0 {
-			sum += old >> fcTagBits
+		// A plain load, no RMW: an empty slot stays a shared cache-line
+		// read, so the uncontended pass costs k loads, not k bus locks.
+		tok := (*p)[i].v.Load()
+		f.drained[i] = tok
+		if tok != 0 {
+			sum += tok >> fcTagBits
 			count++
 		}
 	}
 	return sum, count
+}
+
+// releaseLocked is phase two: it frees every slot collectLocked
+// recorded, publishing the fold to the spinning publishers. Called with
+// the engine mutex still held, after the combined value is stored. On an
+// overflow panic the caller skips this call, leaving the collected slots
+// claimed: the deltas are neither lost nor falsely acknowledged — each
+// publisher keeps spinning, eventually takes the lock itself, and hits
+// the same overflow panic instead of returning success for an increment
+// that never landed.
+func (f *fcSlots) releaseLocked() {
+	p := f.slots.Load()
+	if p == nil {
+		return
+	}
+	for i := range *p {
+		if f.drained[i] != 0 {
+			f.drained[i] = 0
+			(*p)[i].v.Store(0)
+		}
+	}
 }
 
 // listIndex is the sorted singly-linked list of the paper's section 7,
