@@ -29,6 +29,8 @@ func Run(t *testing.T, open func(t *testing.T) counter.Interface) {
 	t.Run("SatisfiedBeatsCancelled", func(t *testing.T) { testSatisfiedBeatsCancelled(t, open(t)) })
 	t.Run("CancelDelivery", func(t *testing.T) { testCancelDelivery(t, open(t)) })
 	t.Run("WaitTimeout", func(t *testing.T) { testWaitTimeout(t, open(t)) })
+	t.Run("WaitTimeoutZeroNegative", func(t *testing.T) { testWaitTimeoutZeroNegative(t, open(t)) })
+	t.Run("ResetPanicsUnderWaitTimeoutWaiter", func(t *testing.T) { testResetPanicsUnderWaitTimeout(t, open(t)) })
 	t.Run("FanOutOneIncrementManyLevels", func(t *testing.T) { testFanOut(t, open(t)) })
 	t.Run("Reset", func(t *testing.T) { testReset(t, open(t)) })
 	t.Run("ResetPanicsUnderWaiters", func(t *testing.T) { testResetPanics(t, open(t)) })
@@ -135,6 +137,80 @@ func testWaitTimeout(t *testing.T, c counter.Interface) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("WaitTimeout never returned after satisfaction")
+	}
+}
+
+// testWaitTimeoutZeroNegative pins the degenerate durations: zero and
+// negative timeouts are instant polls — true exactly when the level is
+// already satisfied — and must return promptly either way, never block.
+func testWaitTimeoutZeroNegative(t *testing.T, c counter.Interface) {
+	for _, d := range []time.Duration{0, -time.Nanosecond, -time.Hour} {
+		done := make(chan bool, 1)
+		go func() { done <- c.WaitTimeout(1, d) }()
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatalf("WaitTimeout(1, %v) = true on a zero counter", d)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("WaitTimeout(1, %v) blocked on a zero counter", d)
+		}
+	}
+	c.Increment(3)
+	c.Check(3) // ensure the satisfaction is visible to this handle
+	for _, d := range []time.Duration{0, -time.Nanosecond, -time.Hour} {
+		for _, level := range []uint64{0, 1, 3} {
+			if !c.WaitTimeout(level, d) {
+				t.Fatalf("WaitTimeout(%d, %v) = false with value 3: satisfied must beat an expired deadline", level, d)
+			}
+		}
+		if c.WaitTimeout(4, d) {
+			t.Fatalf("WaitTimeout(4, %v) = true with value 3", d)
+		}
+	}
+}
+
+// testResetPanicsUnderWaitTimeout is testResetPanics with the waiter
+// suspended via WaitTimeout rather than CheckContext: the misuse check
+// must see timed waiters too.
+func testResetPanicsUnderWaitTimeout(t *testing.T, c counter.Interface) {
+	release := make(chan bool, 1)
+	go func() { release <- c.WaitTimeout(77, 10*time.Second) }()
+	time.Sleep(50 * time.Millisecond) // let it suspend
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset with a WaitTimeout waiter suspended did not panic")
+			}
+		}()
+		c.Reset()
+	}()
+	c.Increment(77) // release the waiter the legitimate way
+	select {
+	case ok := <-release:
+		if !ok {
+			t.Fatal("WaitTimeout(77, 10s) = false after Increment(77)")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitTimeout waiter never released")
+	}
+	// With the waiter gone, Reset must eventually succeed (remote
+	// counters settle the deregistration asynchronously).
+	deadline := time.After(5 * time.Second)
+	for {
+		if ok := func() (ok bool) {
+			defer func() { ok = recover() == nil }()
+			c.Reset()
+			return
+		}(); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Reset still panics after the WaitTimeout waiter released")
+		default:
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 

@@ -1,0 +1,201 @@
+package countertest
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/counter/wait"
+)
+
+// RunPredicates executes the predicate-wait conformance battery as
+// subtests of t: every behavior counter/wait documents — sum, min, and
+// k-of-n predicates releasing exactly at their thresholds, shared-Cond
+// fan-out, satisfied-beats-cancelled, and cancellation leaving no trace
+// on the watched counters — expressed purely through counter.Interface
+// and the wait combinators, so the same battery runs against every
+// in-process implementation and against remote counters on a loopback
+// counterd. open must return a fresh counter with value zero on every
+// call.
+func RunPredicates(t *testing.T, open func(t *testing.T) counter.Interface) {
+	t.Helper()
+	t.Run("SumJoin", func(t *testing.T) { testSumJoin(t, open(t), open(t)) })
+	t.Run("SumSplitBelowNaiveFrontier", func(t *testing.T) { testSumSplit(t, open(t), open(t)) })
+	t.Run("MinBoth", func(t *testing.T) { testMinBoth(t, open(t), open(t)) })
+	t.Run("KOfN", func(t *testing.T) {
+		cs := make([]counter.Interface, 5)
+		for i := range cs {
+			cs[i] = open(t)
+		}
+		testKOfN(t, cs)
+	})
+	t.Run("ImmediateAndCancelled", func(t *testing.T) { testImmediateAndCancelled(t, open(t), open(t)) })
+	t.Run("FanOutSharedCond", func(t *testing.T) { testFanOutSharedCond(t, open(t), open(t)) })
+	t.Run("DisarmOnCancel", func(t *testing.T) { testDisarmOnCancel(t, open(t), open(t)) })
+}
+
+func predicateWaitNil(t *testing.T, errc <-chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("%s = %v, want nil", what, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s never returned", what)
+	}
+}
+
+func predicateMustBlock(t *testing.T, errc <-chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-errc:
+		t.Fatalf("%s returned early with %v", what, err)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func testSumJoin(t *testing.T, a, b counter.Interface) {
+	cond := wait.Sum(a, b).AtLeast(10)
+	errc := make(chan error, 1)
+	go func() { errc <- counter.WaitFor(context.Background(), cond) }()
+	predicateMustBlock(t, errc, "WaitFor(sum >= 10)")
+	a.Increment(4)
+	b.Increment(5)
+	predicateMustBlock(t, errc, "WaitFor(sum >= 10) at 9")
+	a.Increment(1)
+	predicateWaitNil(t, errc, "WaitFor(sum >= 10)")
+}
+
+// testSumSplit is the frontier regression at the interface surface:
+// neither counter ever reaches the target alone, yet the sum flips —
+// naive "target minus the other" sentinels would sleep forever.
+func testSumSplit(t *testing.T, a, b counter.Interface) {
+	cond := wait.Sum(a, b).AtLeast(10)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	predicateMustBlock(t, errc, "Wait(sum >= 10)")
+	a.Increment(3)
+	b.Increment(7)
+	predicateWaitNil(t, errc, "Wait(sum >= 10) after a split advance")
+}
+
+func testMinBoth(t *testing.T, a, b counter.Interface) {
+	cond := wait.Min(a, b).AtLeast(5)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	a.Increment(100)
+	predicateMustBlock(t, errc, "Wait(min >= 5) with one counter at 100")
+	b.Increment(5)
+	predicateWaitNil(t, errc, "Wait(min >= 5)")
+}
+
+func testKOfN(t *testing.T, cs []counter.Interface) {
+	const k, threshold = 3, 2
+	cond := wait.KOfN(cs, k, threshold)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	cs[0].Increment(threshold)
+	cs[1].Increment(threshold - 1) // below threshold: must not count
+	cs[3].Increment(threshold)
+	predicateMustBlock(t, errc, "Wait(3 of 5) with 2 members at threshold")
+	cs[4].Increment(threshold)
+	predicateWaitNil(t, errc, "Wait(3 of 5)")
+}
+
+func testImmediateAndCancelled(t *testing.T, a, b counter.Interface) {
+	a.Increment(6)
+	b.Increment(6)
+	// Drive the counters' own view first so even a lagging (remote)
+	// watermark covers the increments.
+	a.Check(6)
+	b.Check(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := wait.Sum(a, b).AtLeast(10).Wait(ctx); err != nil {
+		t.Fatalf("Wait(cancelled ctx) on a satisfied sum = %v, want nil", err)
+	}
+	if err := wait.Sum(a, b).AtLeast(100).Wait(ctx); err != context.Canceled {
+		t.Fatalf("Wait(cancelled ctx) on an unsatisfied sum = %v, want Canceled", err)
+	}
+	if !wait.Min(a, b).AtLeast(6).WaitTimeout(0) {
+		t.Fatal("zero-timeout predicate WaitTimeout false on a satisfied min")
+	}
+	if wait.Min(a, b).AtLeast(7).WaitTimeout(-time.Second) {
+		t.Fatal("negative-timeout predicate WaitTimeout true on an unsatisfied min")
+	}
+}
+
+// testFanOutSharedCond releases many waiters from one condition and
+// checks the mechanism bill scales with counters, not waiters.
+func testFanOutSharedCond(t *testing.T, a, b counter.Interface) {
+	const waiters = 50
+	cond := wait.Sum(a, b).AtLeast(100)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cond.Wait(context.Background()); err != nil {
+				t.Errorf("Wait = %v", err)
+			}
+		}()
+	}
+	a.Increment(99)
+	time.Sleep(20 * time.Millisecond)
+	b.Increment(1)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fan-out predicate waiters still blocked")
+	}
+	s := cond.Stats()
+	if !s.Satisfied || s.Armed != 0 {
+		t.Fatalf("Stats = %+v after release", s)
+	}
+	if s.Arms > 40 {
+		t.Fatalf("Arms = %d for 2 counters — scaling with the %d waiters?", s.Arms, waiters)
+	}
+}
+
+// testDisarmOnCancel pins the no-trace property through the public
+// surface: after every predicate waiter cancels, the watched counters
+// carry no sentinel, so Reset succeeds (retried, since goroutine-backed
+// sentinels deregister asynchronously).
+func testDisarmOnCancel(t *testing.T, a, b counter.Interface) {
+	cond := wait.Sum(a, b).AtLeast(50)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 2)
+	go func() { errc <- cond.Wait(ctx) }()
+	go func() { errc <- cond.Wait(ctx) }()
+	time.Sleep(20 * time.Millisecond) // let them arm and park
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != context.Canceled {
+			t.Fatalf("Wait = %v, want Canceled", err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if ok := func() (ok bool) {
+			defer func() { ok = recover() == nil }()
+			a.Reset()
+			b.Reset()
+			return
+		}(); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Reset still panics after all predicate waiters cancelled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.Increment(1)
+	a.Check(1)
+}

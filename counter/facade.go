@@ -15,6 +15,7 @@ type coreImpl[T any] interface {
 	*T
 	core.Interface
 	core.StatsProvider
+	core.Sentineler
 }
 
 // facade is the one wrapper every public counter type embeds: it holds
@@ -71,6 +72,31 @@ func (f *facade[T, P]) Reset() { f.impl().Reset() }
 
 // Stats returns the counter's cumulative cost statistics.
 func (f *facade[T, P]) Stats() Stats { return statsFromCore(f.impl().Stats()) }
+
+// Watermark returns a level the counter is known to have reached: a
+// monotone lower bound on the value (for in-process counters, the exact
+// current value). Unlike an instantaneous value read — which this
+// package deliberately does not offer — a watermark can only be used
+// the monotone way: "at least this much has happened", never "exactly
+// this much is true right now". It exists for the predicate layer
+// (counter/wait evaluates multi-counter predicates over watermarks) and
+// for tracing.
+func (f *facade[T, P]) Watermark() uint64 { return f.impl().Value() }
+
+// Sentinel arms a one-shot hook that fires when the counter's wake path
+// satisfies level, parked on the counter's own per-level waitlist like
+// a suspended Check — the registration surface counter/wait builds
+// predicate waits on. armed reports false when level is already
+// satisfied (fn will never run); when armed, fn runs exactly once, on
+// the waking goroutine, and must not block. cancel disarms the hook,
+// reporting whether fn was prevented from running; an armed sentinel
+// counts as a suspended waiter for Reset's misuse check. Fires may be
+// spuriously early on implementations with coarse wake granularity;
+// callers re-check and re-arm. Most code should use counter/wait
+// rather than this directly.
+func (f *facade[T, P]) Sentinel(level uint64, fn func()) (cancel func() bool, armed bool) {
+	return f.impl().Sentinel(level, fn)
+}
 
 // SetProbe installs fn as the counter's event hook: it observes
 // increment/suspend/wake events until replaced, and nil disables it.

@@ -26,6 +26,24 @@ func TestOpenConformance(t *testing.T) {
 	}
 }
 
+// TestOpenPredicates drives the predicate-wait battery (counter/wait
+// over the sentinel surface) through Open for every registered
+// implementation name.
+func TestOpenPredicates(t *testing.T) {
+	for _, name := range counter.Impls() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			countertest.RunPredicates(t, func(t *testing.T) counter.Interface {
+				c, err := counter.Open(name)
+				if err != nil {
+					t.Fatalf("Open(%q): %v", name, err)
+				}
+				return c
+			})
+		})
+	}
+}
+
 // TestOpenStatsProvider pins the facade guarantee that every opened
 // counter also reports stats (so counter.Publish works on any of them).
 func TestOpenStatsProvider(t *testing.T) {

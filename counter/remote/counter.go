@@ -225,6 +225,53 @@ func (c *Counter) checkCancelled(level uint64, ctxErr error) error {
 	return c.cancelWait(w, ctxErr)
 }
 
+// Watermark returns the client's satisfied watermark: the highest level
+// this client has proof the hosted value reached. It is a monotone
+// lower bound on the hosted value — it lags by however much other
+// clients have incremented since this client last heard a wake — which
+// is exactly the view the predicate layer (counter/wait) needs, and it
+// never touches the network.
+func (c *Counter) Watermark() uint64 { return c.known.Load() }
+
+// Sentinel arms a one-shot hook that fires when the hosted value
+// reaches level, making remote counters watchable by counter/wait's
+// predicate conditions alongside in-process ones. An armed sentinel
+// costs one wire-level wait (the same price as a blocked CheckContext,
+// sharing the client's two goroutines) plus one goroutine client-side;
+// it fires on the server's wake, counts as a suspended waiter for
+// Reset's refusal, and cancel deregisters the server-side wait. armed
+// reports false only when the client's watermark already covers level —
+// a level satisfied on the server but not yet observed here arms and
+// then fires within a round trip, which the Sentineler contract
+// permits.
+func (c *Counter) Sentinel(level uint64, fn func()) (cancel func() bool, armed bool) {
+	if level <= c.known.Load() {
+		c.immediate.Add(1)
+		return nil, false
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	var state atomic.Int32 // 0 armed, 1 fired, 2 cancelled
+	go func() {
+		defer cancelCtx()
+		if c.CheckContext(ctx, level) == nil {
+			// nil even under a racing cancel means the server resolved
+			// the race in favor of satisfaction — satisfied beats
+			// cancelled on the wire too, so fire unless cancel won the
+			// local CAS first.
+			if state.CompareAndSwap(0, 1) {
+				fn()
+			}
+		}
+	}()
+	return func() bool {
+		if state.CompareAndSwap(0, 2) {
+			cancelCtx()
+			return true
+		}
+		return false
+	}, true
+}
+
 // Reset sets the hosted value back to zero for reuse between phases. As
 // in-process, it must not run concurrently with other operations on the
 // counter — from any client — and panics if waiters are suspended on it

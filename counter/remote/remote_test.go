@@ -12,6 +12,7 @@ import (
 	"monotonic/counter"
 	"monotonic/counter/countertest"
 	"monotonic/counter/remote"
+	"monotonic/counter/wait"
 	"monotonic/internal/server"
 )
 
@@ -47,6 +48,17 @@ func TestConformance(t *testing.T) {
 	cl := dialClient(t, addr)
 	countertest.Run(t, func(t *testing.T) counter.Interface {
 		return cl.Counter(countertest.FreshName("conf"))
+	})
+}
+
+// TestPredicateConformance runs the predicate-wait battery against
+// remote counters on a loopback counterd: the wait combinators must
+// behave identically whether the counters are in-process or hosted.
+func TestPredicateConformance(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	countertest.RunPredicates(t, func(t *testing.T) counter.Interface {
+		return cl.Counter(countertest.FreshName("pred"))
 	})
 }
 
@@ -117,6 +129,15 @@ func (p *proxy) run() {
 		go func() { io.Copy(out, in); in.Close(); out.Close() }()
 		go func() { io.Copy(in, out); in.Close(); out.Close() }()
 	}
+}
+
+// setDown controls whether new relays are accepted: after
+// setDown(true), reconnect attempts land on a proxy that immediately
+// closes them, so kill() becomes a permanent severance.
+func (p *proxy) setDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
 }
 
 // kill severs every live relay; new dials keep working (reconnects land
@@ -336,5 +357,135 @@ func TestCloseResolvesWaiters(t *testing.T) {
 	}
 	if err := cl.Close(); err != nil {
 		t.Fatalf("second Close = %v", err)
+	}
+}
+
+// TestWaitTimeoutSatisfiedBeatsDeadline pins the cancellation rule over
+// the wire: a level covered by the client's satisfied watermark beats an
+// expired (zero or negative) deadline with NO round trip — proven by
+// severing the link first. This is the remote twin of the in-process
+// "WaitTimeout(level, 0) reports true on a satisfied level" contract.
+func TestWaitTimeoutSatisfiedBeatsDeadline(t *testing.T) {
+	addr := startServer(t)
+	p := startProxy(t, addr)
+	cl := dialClient(t, p.lis.Addr().String())
+	c := cl.Counter(countertest.FreshName("wtz"))
+	c.Increment(7)
+	c.Check(7) // a real round trip raises the watermark to 7
+
+	// Sever the link permanently: any path needing wire traffic hangs.
+	p.setDown(true)
+	p.kill()
+
+	for _, d := range []time.Duration{0, -time.Second, time.Nanosecond} {
+		done := make(chan bool, 1)
+		go func() { done <- c.WaitTimeout(7, d) }()
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatalf("WaitTimeout(7, %v) = false with watermark 7", d)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("WaitTimeout(7, %v) went to a dead link despite a covering watermark", d)
+		}
+	}
+	done := make(chan bool, 1)
+	go func() { done <- c.WaitTimeout(3, 0) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitTimeout(3, 0) = false with watermark 7")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("below-watermark WaitTimeout went to a dead link")
+	}
+}
+
+// TestWaitTimeoutZeroResolvesOnServer pins the harder half of the same
+// rule: a level satisfied on the SERVER but not yet in the client's
+// watermark must still beat a zero deadline — the client registers the
+// wait and races a cancel, and the server resolves in favor of the wake.
+func TestWaitTimeoutZeroResolvesOnServer(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	c := cl.Counter(countertest.FreshName("wtsrv"))
+	if c.WaitTimeout(5, 0) {
+		t.Fatal("WaitTimeout(5, 0) = true on a zero counter")
+	}
+	c.Increment(5) // pipelined: applied before the wait frame below
+	if !c.WaitTimeout(5, 0) {
+		t.Fatal("WaitTimeout(5, 0) = false for a level satisfied on the server")
+	}
+	if c.WaitTimeout(6, -time.Second) {
+		t.Fatal("WaitTimeout(6, -1s) = true with the value at 5")
+	}
+}
+
+// TestRemoteSentinel exercises the sentinel surface on a remote counter:
+// arm, fire on a cross-client increment, cancel cleanly.
+func TestRemoteSentinel(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	other := dialClient(t, addr)
+	name := countertest.FreshName("sent")
+	c := cl.Counter(name)
+
+	fired := make(chan struct{})
+	cancel, armed := c.Sentinel(3, func() { close(fired) })
+	if !armed {
+		t.Fatal("Sentinel(3) on a zero counter reported not-armed")
+	}
+	other.Counter(name).Increment(3) // a different client satisfies it
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sentinel never fired on a cross-client increment")
+	}
+	if cancel() {
+		t.Fatal("cancel after fire reported true")
+	}
+	if c.Watermark() < 3 {
+		t.Fatalf("watermark = %d after the sentinel fired, want >= 3", c.Watermark())
+	}
+	if _, armed := c.Sentinel(2, nil); armed {
+		t.Fatal("Sentinel(2) armed with watermark >= 3")
+	}
+
+	cancel2, armed2 := c.Sentinel(100, func() { t.Error("cancelled sentinel fired") })
+	if !armed2 {
+		t.Fatal("second sentinel not armed")
+	}
+	if !cancel2() {
+		t.Fatal("cancel of an armed sentinel reported false")
+	}
+	time.Sleep(20 * time.Millisecond) // any stray fire would t.Error above
+}
+
+// TestRemotePredicateWait drives counter/wait's predicate machinery over
+// remote counters: a sum across two hosted counters, incremented from a
+// second client, releases a WaitFor on the first.
+func TestRemotePredicateWait(t *testing.T) {
+	addr := startServer(t)
+	cl := dialClient(t, addr)
+	other := dialClient(t, addr)
+	na, nb := countertest.FreshName("pa"), countertest.FreshName("pb")
+	cond := wait.Sum(cl.Counter(na), cl.Counter(nb)).AtLeast(10)
+
+	errc := make(chan error, 1)
+	go func() { errc <- counter.WaitFor(context.Background(), cond) }()
+	select {
+	case err := <-errc:
+		t.Fatalf("WaitFor returned early with %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	other.Counter(na).Increment(4)
+	other.Counter(nb).Increment(6)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("WaitFor = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("predicate wait over remote counters never released")
 	}
 }

@@ -1,0 +1,241 @@
+// Package wait builds blocking waits on monotone predicates over
+// counters: a sum crossing a target, a minimum clearing a bar, k of n
+// counters reaching a threshold. It is the public face of
+// internal/predicate; see docs/PATTERNS.md ("Predicate waits") for the
+// design and docs.
+//
+// Each combinator returns a *Cond — a one-shot shared condition any
+// number of goroutines can Wait on (directly or through
+// counter.WaitFor). The Cond parks one sentinel hook per watched
+// counter at a frontier level on that counter's own waitlist, so N
+// waiters on one Cond cost O(watched counters) parked nodes, not
+// O(N × counters), and an increment that cannot flip the predicate
+// wakes nobody. Like a Check, predicates are monotone: once a Cond is
+// satisfied it stays satisfied, and a Cond must not span a Reset of a
+// watched counter.
+//
+// Counters that expose the native watermark/sentinel surface (every
+// in-process implementation, and counter/remote's client) are watched
+// at zero ongoing cost. Any other counter.Interface still works through
+// a goroutine-per-sentinel fallback built on CheckContext.
+package wait
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/internal/predicate"
+)
+
+// Cond is a one-shot condition over one or more counters that becomes
+// (and stays) satisfied once its predicate holds. Any number of
+// goroutines may Wait on one Cond; all are released together. A Cond
+// that is never waited on costs nothing, and one whose waiters all
+// cancel leaves no trace on its counters.
+type Cond struct {
+	pc *predicate.Cond
+}
+
+// Wait blocks until the predicate holds or ctx is cancelled, making
+// *Cond a counter.Waitable. A satisfied predicate beats a cancelled
+// context, exactly like CheckContext for a single level.
+func (c *Cond) Wait(ctx context.Context) error { return c.pc.Wait(ctx) }
+
+// WaitTimeout is Wait bounded by a timeout, reporting whether the
+// predicate held in time. A satisfied predicate beats an expired
+// deadline: with a zero or negative d, WaitTimeout still reports true
+// when the predicate already holds (it polls without blocking).
+func (c *Cond) WaitTimeout(d time.Duration) bool {
+	if d <= 0 {
+		return c.pc.Poll()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.pc.Wait(ctx) == nil
+}
+
+// Holds reports whether the predicate holds right now, settling the
+// Cond (and releasing any waiters) if it does. It never blocks and
+// never arms sentinels.
+func (c *Cond) Holds() bool { return c.pc.Poll() }
+
+// Done returns a channel closed once the predicate has been observed to
+// hold. Done does not itself drive evaluation — pair it with a Wait,
+// Holds, or WaitTimeout somewhere; it exists for use in selects.
+func (c *Cond) Done() <-chan struct{} { return c.pc.Done() }
+
+// Stats is a snapshot of a Cond's mechanism counters — how many
+// sentinel fires, registrations, and frontier re-parks the predicate
+// machinery has paid. Arms scales with watched counters and frontier
+// moves, never with the number of waiters.
+type Stats struct {
+	Fires     uint64 // sentinel hook fires (re-evaluation kicks)
+	Arms      uint64 // sentinel registrations, total
+	Reparks   uint64 // registrations beyond each counter's first
+	Armed     int    // sentinels currently armed
+	Waiters   int    // goroutines currently blocked in Wait
+	Satisfied bool
+}
+
+// Stats returns a snapshot of the Cond's mechanism counters.
+func (c *Cond) Stats() Stats {
+	s := c.pc.Stats()
+	return Stats{
+		Fires:     s.Fires,
+		Arms:      s.Arms,
+		Reparks:   s.Reparks,
+		Armed:     s.Armed,
+		Waiters:   s.Waiters,
+		Satisfied: s.Satisfied,
+	}
+}
+
+// The Cond combinators satisfy counter.Waitable.
+var _ counter.Waitable = (*Cond)(nil)
+
+// SumExpr is the sum of a fixed set of counters, ready to be compared
+// against a target. Built by Sum.
+type SumExpr struct{ cs []predicate.Counter }
+
+// Sum begins a predicate over the sum of the given counters' values.
+func Sum(cs ...counter.Interface) SumExpr { return SumExpr{cs: adaptAll(cs)} }
+
+// AtLeast returns the condition "the counters' values sum to at least
+// target". The sum saturates rather than wrapping, so overflow can only
+// make the condition hold earlier.
+func (s SumExpr) AtLeast(target uint64) *Cond {
+	return &Cond{pc: predicate.NewCond(predicate.SumAtLeast(target), s.cs...)}
+}
+
+// MinExpr is the minimum of a fixed set of counters, ready to be
+// compared against a level. Built by Min.
+type MinExpr struct{ cs []predicate.Counter }
+
+// Min begins a predicate over the minimum of the given counters'
+// values.
+func Min(cs ...counter.Interface) MinExpr { return MinExpr{cs: adaptAll(cs)} }
+
+// AtLeast returns the condition "every counter's value is at least
+// level" — a join: it holds once the slowest counter arrives.
+func (m MinExpr) AtLeast(level uint64) *Cond {
+	levels := make([]uint64, len(m.cs))
+	for i := range levels {
+		levels[i] = level
+	}
+	return &Cond{pc: predicate.NewCond(predicate.Thresholds(levels, len(levels)), m.cs...)}
+}
+
+// AtLeast returns the condition "c's value is at least level" — the
+// one-counter degenerate case, equivalent to a Check(level) but
+// shareable, pollable, and composable via counter.WaitFor.
+func AtLeast(c counter.Interface, level uint64) *Cond {
+	return Min(c).AtLeast(level)
+}
+
+// KOfN returns the condition "at least k of the counters have reached
+// threshold" — the quorum wait. k must be between 1 and len(cs);
+// k = len(cs) is Min(...).AtLeast(threshold), k = 1 is an any-of wait.
+func KOfN(cs []counter.Interface, k int, threshold uint64) *Cond {
+	levels := make([]uint64, len(cs))
+	for i := range levels {
+		levels[i] = threshold
+	}
+	return &Cond{pc: predicate.NewCond(predicate.Thresholds(levels, k), adaptAll(cs)...)}
+}
+
+// sentinelCounter is the native predicate surface: the facade types,
+// everything counter.Open returns, and counter/remote's client expose
+// it. Watermark is a monotone lower bound on the value; Sentinel is the
+// one-shot hook registration (see the counter docs).
+type sentinelCounter interface {
+	Watermark() uint64
+	Sentinel(level uint64, fn func()) (cancel func() bool, armed bool)
+}
+
+func adaptAll(cs []counter.Interface) []predicate.Counter {
+	if len(cs) == 0 {
+		panic("wait: predicate over zero counters")
+	}
+	out := make([]predicate.Counter, len(cs))
+	for i, c := range cs {
+		out[i] = adapt(c)
+	}
+	return out
+}
+
+// adapt views one public counter as a predicate.Counter: natively when
+// it exposes watermarks and sentinels, else through the goroutine-backed
+// polled fallback.
+func adapt(c counter.Interface) predicate.Counter {
+	if sc, ok := c.(sentinelCounter); ok {
+		return native{sc}
+	}
+	return &polled{c: c}
+}
+
+type native struct{ sc sentinelCounter }
+
+func (n native) Value() uint64 { return n.sc.Watermark() }
+func (n native) Sentinel(level uint64, fn func()) (func() bool, bool) {
+	return n.sc.Sentinel(level, fn)
+}
+
+// polled adapts a counter.Interface with no native sentinel surface:
+// each armed sentinel is a goroutine suspended in CheckContext at the
+// frontier level — the same node-per-level cost inside the counter, plus
+// one goroutine per watched counter while armed. The watermark is the
+// highest level this adapter has observed satisfied; it lags the true
+// value but is monotone, which is all the predicate engine requires.
+// One visible consequence: Holds and zero-timeout WaitTimeout read the
+// watermark without probing, so over fallback-adapted counters they can
+// under-report until a Wait has driven a probe. Native counters are
+// exact.
+type polled struct {
+	c  counter.Interface
+	wm atomic.Uint64
+}
+
+func (p *polled) Value() uint64 { return p.wm.Load() }
+
+// raise lifts the watermark to at least level.
+func (p *polled) raise(level uint64) {
+	for {
+		cur := p.wm.Load()
+		if level <= cur || p.wm.CompareAndSwap(cur, level) {
+			return
+		}
+	}
+}
+
+func (p *polled) Sentinel(level uint64, fn func()) (func() bool, bool) {
+	// A zero-timeout wait is the Interface's only non-blocking probe: a
+	// satisfied level beats an expired deadline, so true here means the
+	// value already covers level and no sentinel is needed.
+	if level <= p.wm.Load() || p.c.WaitTimeout(level, 0) {
+		p.raise(level)
+		return nil, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var state atomic.Int32 // 0 armed, 1 fired, 2 cancelled
+	go func() {
+		defer cancel()
+		if p.c.CheckContext(ctx, level) == nil {
+			// The level was reached (possibly racing a cancel — a
+			// satisfied level beats a cancelled context). Either way the
+			// watermark advances; fn runs only if cancel lost the race.
+			p.raise(level)
+			if state.CompareAndSwap(0, 1) {
+				fn()
+			}
+		}
+	}()
+	return func() bool {
+		if state.CompareAndSwap(0, 2) {
+			cancel()
+			return true
+		}
+		return false
+	}, true
+}

@@ -1,0 +1,31 @@
+package counter
+
+import "context"
+
+// Waitable is anything that can be waited on until a monotone condition
+// holds: the predicate conditions built by counter/wait satisfy it, and
+// so does any user type whose Wait has the same one-shot monotone
+// semantics — once Wait returns nil it returns nil forever.
+type Waitable interface {
+	// Wait blocks until the condition holds or ctx is cancelled. A
+	// satisfied condition beats a cancelled context, mirroring
+	// CheckContext's rule for a single level.
+	Wait(ctx context.Context) error
+}
+
+// WaitFor blocks until w's monotone predicate holds or ctx is
+// cancelled. It is Check generalized from "this counter reached level
+// L" to any monotone predicate over any number of counters — a sum
+// crossing a target, a minimum clearing a bar, k of n members reaching
+// a threshold — built with the combinators in counter/wait:
+//
+//	a, b := counter.New(), counter.New()
+//	err := counter.WaitFor(ctx, wait.Sum(a, b).AtLeast(100))
+//
+// The same safety argument that makes Check race-free carries over:
+// monotone predicates never flip back, so there is no transient state
+// to observe and no lost-wakeup window. N goroutines waiting on one
+// Waitable cost one parked node per watched counter, not per waiter.
+func WaitFor(ctx context.Context, w Waitable) error {
+	return w.Wait(ctx)
+}

@@ -156,6 +156,31 @@ func (c *ChanCounter) acquire(level uint64) *gate {
 	return g
 }
 
+// acquireSentinel is acquire for sentinel registration: identical gate
+// bookkeeping, but neither a suspend nor an immediate check in the cost
+// model — no goroutine blocks on a sentinel and no Check was issued.
+// Every non-nil return must be paired with a release.
+func (c *ChanCounter) acquireSentinel(level uint64) *gate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if level <= c.value {
+		return nil
+	}
+	if c.levels == nil {
+		c.levels = make(map[uint64]*gate)
+	}
+	g, ok := c.levels[level]
+	if !ok {
+		g = &gate{ch: make(chan struct{})}
+		c.levels[level] = g
+		if len(c.levels) > c.stats.peakLevels {
+			c.stats.peakLevels = len(c.levels)
+		}
+	}
+	g.refs++
+	return g
+}
+
 // release drops the caller's claim on g. The last waiter to leave a gate
 // that was never satisfied (its map entry still points at g) reclaims the
 // entry, so a level abandoned by cancellation costs nothing once its

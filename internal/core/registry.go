@@ -72,4 +72,15 @@ var (
 	_ ProbeSetter = (*SpinCounter)(nil)
 	_ ProbeSetter = (*ShardedCounter)(nil)
 	_ ProbeSetter = (*FCCounter)(nil)
+
+	// Every registry implementation supports sentinel hooks (the
+	// predicate layer's registration surface; see sentinel.go).
+	_ Sentineler = (*Counter)(nil)
+	_ Sentineler = (*HeapCounter)(nil)
+	_ Sentineler = (*ChanCounter)(nil)
+	_ Sentineler = (*BroadcastCounter)(nil)
+	_ Sentineler = (*AtomicCounter)(nil)
+	_ Sentineler = (*SpinCounter)(nil)
+	_ Sentineler = (*ShardedCounter)(nil)
+	_ Sentineler = (*FCCounter)(nil)
 )

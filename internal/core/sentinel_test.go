@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFired waits for a sentinel fire delivered on ch, failing t after
+// a generous deadline (the chan implementation fires from a goroutine,
+// so fires are not synchronous with Increment everywhere).
+func waitFired(t *testing.T, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sentinel never fired")
+	}
+}
+
+// retryReset retries Reset until the implementation's bookkeeping for a
+// cancelled sentinel settles (the chan design releases its gate from a
+// goroutine, so the panic can outlive cancel by a moment).
+func retryReset(t *testing.T, c Interface) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if ok := func() (ok bool) {
+			defer func() { ok = recover() == nil }()
+			c.Reset()
+			return
+		}(); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Reset still panics after the sentinel was cancelled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSentinelFires(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			s := c.(Sentineler)
+			fired := make(chan struct{})
+			cancel, armed := s.Sentinel(5, func() { close(fired) })
+			if !armed {
+				t.Fatal("Sentinel(5) on a zero counter reported not-armed")
+			}
+			c.Increment(4)
+			if impl != ImplBroadcast { // broadcast fires spuriously per increment
+				select {
+				case <-fired:
+					t.Fatal("sentinel fired below its level")
+				case <-time.After(20 * time.Millisecond):
+				}
+				c.Increment(1)
+			}
+			waitFired(t, fired)
+			if cancel() {
+				t.Error("cancel after fire reported true")
+			}
+		})
+	}
+}
+
+func TestSentinelAlreadySatisfied(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			c.Increment(5)
+			_, armed := c.(Sentineler).Sentinel(3, func() { t.Error("fn ran for a satisfied level") })
+			if armed {
+				t.Fatal("Sentinel(3) with value 5 reported armed")
+			}
+			time.Sleep(10 * time.Millisecond)
+		})
+	}
+}
+
+func TestSentinelCancel(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			var fired atomic.Bool
+			cancel, armed := c.(Sentineler).Sentinel(10, func() { fired.Store(true) })
+			if !armed {
+				t.Fatal("not armed")
+			}
+			if !cancel() {
+				t.Fatal("cancel of an armed sentinel reported false")
+			}
+			if cancel() {
+				t.Fatal("second cancel reported true")
+			}
+			c.Increment(10) // past the level: the cancelled hook must stay silent
+			time.Sleep(10 * time.Millisecond)
+			if fired.Load() {
+				t.Fatal("cancelled sentinel fired")
+			}
+			retryReset(t, c)
+			c.Increment(1)
+			c.Check(1)
+		})
+	}
+}
+
+// TestSentinelBlocksReset pins the Reset misuse contract: an armed
+// sentinel is a registered waiter, so Reset must refuse to roll the
+// value out from under it.
+func TestSentinelBlocksReset(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			cancel, armed := c.(Sentineler).Sentinel(7, func() {})
+			if !armed {
+				t.Fatal("not armed")
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Reset with an armed sentinel did not panic")
+					}
+				}()
+				c.Reset()
+			}()
+			cancel()
+			retryReset(t, c)
+		})
+	}
+}
+
+// TestSentinelShardedGate pins the sharded-specific invariant: the
+// waiter gate rises for the sentinel's armed lifetime and falls exactly
+// once on fire or cancel, so the striped fast path resumes afterwards.
+func TestSentinelShardedGate(t *testing.T) {
+	c := NewSharded()
+	fired := make(chan struct{})
+	cancel, armed := c.Sentinel(3, func() { close(fired) })
+	if !armed {
+		t.Fatal("not armed")
+	}
+	if g := c.gate.Load(); g != 1 {
+		t.Fatalf("gate = %d while a sentinel is armed, want 1", g)
+	}
+	c.Increment(3)
+	waitFired(t, fired)
+	if g := c.gate.Load(); g != 0 {
+		t.Fatalf("gate = %d after the sentinel fired, want 0", g)
+	}
+	if cancel() {
+		t.Fatal("cancel after fire reported true")
+	}
+	if g := c.gate.Load(); g != 0 {
+		t.Fatalf("gate = %d after a late cancel, want 0", g)
+	}
+
+	cancel2, armed2 := c.Sentinel(10, func() {})
+	if !armed2 {
+		t.Fatal("second sentinel not armed")
+	}
+	if !cancel2() {
+		t.Fatal("cancel reported false")
+	}
+	if g := c.gate.Load(); g != 0 {
+		t.Fatalf("gate = %d after cancel, want 0", g)
+	}
+}
+
+// TestSentinelBroadcastSpurious pins the spurious-fire semantics the
+// Sentineler contract allows: the broadcast ablation kicks its hooks on
+// every increment, satisfied level or not.
+func TestSentinelBroadcastSpurious(t *testing.T) {
+	c := NewBroadcast()
+	fired := make(chan struct{})
+	_, armed := c.Sentinel(100, func() { close(fired) })
+	if !armed {
+		t.Fatal("not armed")
+	}
+	c.Increment(1) // far below 100, but the round node wakes everyone
+	waitFired(t, fired)
+	if got := c.Value(); got != 1 {
+		t.Fatalf("value = %d, want 1", got)
+	}
+}
+
+// TestSentinelRegistrationRace hammers the arm/increment race: arming a
+// sentinel concurrently with the satisfying increment must either fire
+// exactly once or report not-armed — never lose the hook.
+func TestSentinelRegistrationRace(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			const rounds = 200
+			for r := 0; r < rounds; r++ {
+				c := NewImpl(impl)
+				s := c.(Sentineler)
+				fired := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c.Increment(1)
+				}()
+				cancel, armed := s.Sentinel(1, func() { close(fired) })
+				wg.Wait()
+				if armed {
+					waitFired(t, fired)
+					if cancel() {
+						t.Fatal("cancel after a mandatory fire reported true")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSentinelStress arms, fires, and cancels sentinels from many
+// goroutines against a running incrementer — the -race leg's coverage
+// of the hook chain's locking.
+func TestSentinelStress(t *testing.T) {
+	for _, impl := range Registry() {
+		t.Run(string(impl), func(t *testing.T) {
+			c := NewImpl(impl)
+			s := c.(Sentineler)
+			const (
+				arms   = 64
+				target = 1000
+			)
+			var fires atomic.Uint64
+			var wg sync.WaitGroup
+			for i := 0; i < arms; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					level := uint64(i%target + 1)
+					cancel, armed := s.Sentinel(level, func() { fires.Add(1) })
+					if armed && i%3 == 0 {
+						cancel()
+					}
+				}(i)
+			}
+			var iwg sync.WaitGroup
+			iwg.Add(1)
+			go func() {
+				defer iwg.Done()
+				for v := 0; v < target; v++ {
+					c.Increment(1)
+				}
+			}()
+			wg.Wait()
+			iwg.Wait()
+			c.Check(target)
+		})
+	}
+}

@@ -82,6 +82,14 @@ type waitNode struct {
 	// only by plain Check stay close to the paper's four fields.
 	ready chan struct{}
 
+	// hooks is the chain of armed sentinel hooks (sentinel.go) watching
+	// this level, guarded by mu like the rest of the wake-side state.
+	// wakeBatch detaches the chain under mu and invokes the hooks only
+	// after releasing it, so hooks — like wake-ups — never run under the
+	// engine mutex or a wake lock, and the two-tier "never nested"
+	// locking invariant above is unchanged by their existence.
+	hooks *sentinelHook
+
 	next *waitNode // used by list-shaped indexes only
 }
 
@@ -261,6 +269,11 @@ func (w *waitlist) wakeBatch(head *waitNode) {
 		if bcast {
 			n.cond.Broadcast()
 		}
+		hooks := n.hooks
+		n.hooks = nil
+		for h := hooks; h != nil; h = h.next {
+			h.fired = true
+		}
 		n.mu.Unlock()
 		if closed {
 			w.stats.channelCloses.Add(1)
@@ -269,6 +282,18 @@ func (w *waitlist) wakeBatch(head *waitNode) {
 			w.stats.broadcasts.Add(1)
 		}
 		w.emit(EventWake, n.level)
+		// Fire the detached sentinel hooks, each exactly once, with no
+		// lock held — a hook is a re-evaluation kick for the predicate
+		// layer and must never run inside the engine. The hook's waiter
+		// count is drained first so the node's accounting is settled by
+		// the time fn observes the wake (fn may arm a fresh sentinel).
+		for h := hooks; h != nil; {
+			hn := h.next
+			h.next = nil
+			w.drainSatisfied(n)
+			h.fn()
+			h = hn
+		}
 		n = next
 	}
 }

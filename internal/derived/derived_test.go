@@ -1,6 +1,7 @@
 package derived
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -203,5 +204,211 @@ func TestSequencerDoRace(t *testing.T) {
 	wg.Wait()
 	if count.Load() != 64 {
 		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+// TestBarrierPassOverflowPanics forces the n*round product past 2^64:
+// before the checkedMul guard, the level wrapped to 0 and Pass waved the
+// party through a barrier nobody else had reached; now it panics.
+func TestBarrierPassOverflowPanics(t *testing.T) {
+	b := NewBarrier(4)
+	p := b.Register()
+	p.round = (1 << 62) - 1 // the next Pass computes 4 * 2^62 == 2^64
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pass with a wrapping n*round did not panic")
+		}
+	}()
+	p.Pass()
+}
+
+// TestBarrierReached pins the observer view: a Reached condition opens
+// exactly when the round completes, without registering a party.
+func TestBarrierReached(t *testing.T) {
+	const n = 3
+	b := NewBarrier(n)
+	r1 := b.Reached(1)
+	if r1.Poll() {
+		t.Fatal("Reached(1) holds before anyone passed")
+	}
+	if !b.Reached(0).Poll() {
+		t.Fatal("Reached(0) does not hold trivially")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Register().Pass()
+		}()
+	}
+	wg.Wait()
+	if !r1.Poll() {
+		t.Fatal("Reached(1) does not hold after all parties passed")
+	}
+	if b.Reached(2).Poll() {
+		t.Fatal("Reached(2) holds after one round")
+	}
+}
+
+// TestSequencerDoPanicSafe pins the defer fix: a panic inside f must
+// propagate to the caller AND still complete the ticket, so the next
+// ticket gets its turn instead of waiting forever.
+func TestSequencerDoPanicSafe(t *testing.T) {
+	s := NewSequencer()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic in Do's f did not propagate")
+			}
+		}()
+		s.Do(func() { panic("f failed") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		s.Do(func() {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sequencer wedged after a panicking Do")
+	}
+}
+
+func TestQuorumOpensAtK(t *testing.T) {
+	q := NewQuorum(5, 3, 2)
+	opened := make(chan struct{})
+	go func() {
+		q.Wait()
+		close(opened)
+	}()
+	q.Add(0, 2)
+	q.Arrive(2) // one unit: below the threshold, must not count
+	q.Add(4, 2)
+	select {
+	case <-opened:
+		t.Fatal("quorum opened with 2 of 3 members at threshold")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if q.Reached() {
+		t.Fatal("Reached true with 2 of 3 members at threshold")
+	}
+	q.Arrive(2) // second unit completes the third member
+	select {
+	case <-opened:
+	case <-time.After(5 * time.Second):
+		t.Fatal("quorum never opened")
+	}
+	if !q.Reached() {
+		t.Fatal("Reached false after opening")
+	}
+}
+
+func TestQuorumWaitContext(t *testing.T) {
+	q := NewQuorum(3, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := q.WaitContext(ctx); err != context.Canceled {
+		t.Fatalf("WaitContext(cancelled) = %v, want Canceled", err)
+	}
+	q.Arrive(0)
+	q.Arrive(2)
+	// Open quorum beats the cancelled context.
+	if err := q.WaitContext(ctx); err != nil {
+		t.Fatalf("WaitContext(cancelled, open) = %v, want nil", err)
+	}
+}
+
+// TestQuorumSharedSentinels pins the storage bound at the derived tier:
+// many waiters on one quorum arm sentinels proportional to members and
+// frontier moves, never to the waiter count.
+func TestQuorumSharedSentinels(t *testing.T) {
+	const members, k, waiters = 4, 3, 50
+	q := NewQuorum(members, k, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Wait()
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < k; i++ {
+		q.Arrive(i)
+	}
+	wg.Wait()
+	s := q.Cond().Stats()
+	if !s.Satisfied || s.Armed != 0 {
+		t.Fatalf("stats = %+v after opening", s)
+	}
+	if s.Arms > uint64(members*(k+1)) {
+		t.Fatalf("Arms = %d for %d members — scaling with the %d waiters?", s.Arms, members, waiters)
+	}
+}
+
+func TestQuorumBadArgsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewQuorum(0, 1, 1) },
+		func() { NewQuorum(3, 0, 1) },
+		func() { NewQuorum(3, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad quorum shape did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLatchWaitContextAndOpened(t *testing.T) {
+	l := NewLatch(2)
+	if l.Opened() {
+		t.Fatal("Opened true on a fresh latch")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.WaitContext(ctx); err != context.Canceled {
+		t.Fatalf("WaitContext(cancelled) = %v, want Canceled", err)
+	}
+	l.Done()
+	l.Done()
+	if err := l.WaitContext(ctx); err != nil {
+		t.Fatalf("WaitContext(cancelled, opened) = %v, want nil", err)
+	}
+	if !l.Opened() {
+		t.Fatal("Opened false after n Dones")
+	}
+}
+
+func TestAllAnyOpened(t *testing.T) {
+	a, b := NewLatch(1), NewLatch(2)
+	all := AllOpened(a, b)
+	any := AnyOpened(a, b)
+	if all.Poll() || any.Poll() {
+		t.Fatal("conditions hold over fresh latches")
+	}
+	a.Done()
+	if !any.Poll() {
+		t.Fatal("AnyOpened does not hold with one latch open")
+	}
+	if all.Poll() {
+		t.Fatal("AllOpened holds with one latch still closed")
+	}
+	allDone := make(chan error, 1)
+	go func() { allDone <- all.Wait(context.Background()) }()
+	b.Done()
+	b.Done()
+	select {
+	case err := <-allDone:
+		if err != nil {
+			t.Fatalf("AllOpened Wait = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AllOpened never released")
 	}
 }

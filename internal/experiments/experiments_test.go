@@ -7,8 +7,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registered %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registered %d experiments, want 24", len(all))
 	}
 	for i, e := range all {
 		want := "E" + itoa(i+1)
@@ -99,5 +99,31 @@ func TestE8OutcomeCounts(t *testing.T) {
 		if want, ok := wantOutcomes[row[0]]; ok && row[1] != want {
 			t.Errorf("%s: outcomes = %s, want %s", row[0], row[1], want)
 		}
+	}
+}
+
+// TestE24BoundsHold pins the predicate-wait bounds at test time: the
+// quorum table must report parked nodes equal to the watched-counter
+// count for every waiter row, and the non-flipping table must report
+// zero sentinel fires. (E24 additionally panics inside Run if either
+// bound is violated, so a regression fails fast in reported runs too.)
+func TestE24BoundsHold(t *testing.T) {
+	e, ok := Get("E24")
+	if !ok {
+		t.Fatal("E24 missing")
+	}
+	tables := e.Run(Config{Quick: true})
+	if len(tables) != 3 {
+		t.Fatalf("E24 produced %d tables, want 3", len(tables))
+	}
+	quorum := tables[0]
+	for _, row := range quorum.Rows {
+		if row[2] != row[1] {
+			t.Errorf("quorum row %s waiters: %s parked nodes for %s watched counters", row[0], row[2], row[1])
+		}
+	}
+	flips := tables[1]
+	if got := flips.Rows[0][1]; got != "0" {
+		t.Errorf("non-flipping increments produced %s sentinel fires, want 0", got)
 	}
 }

@@ -1,0 +1,279 @@
+package predicate
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Cond is one monotone-predicate wait shared by any number of waiters:
+// a one-shot condition that becomes (and stays) satisfied once its
+// predicate holds over its counters. Waiters park on a single done
+// channel, so the wake fan-out for N waiters is one channel close —
+// the sentinel bookkeeping is per watched counter, never per waiter.
+//
+// Lifecycle: sentinels are armed lazily by the first Wait (a Cond that
+// is never waited on costs nothing), re-armed at fresh frontiers on
+// every kick, and cancelled when the last waiter abandons the wait —
+// a fully cancelled Cond leaves no trace on its counters, so their
+// Reset works again. A satisfied Cond is terminal. Like a plain Check,
+// a Cond must not span a Reset of any watched counter: build a new
+// Cond for the new phase.
+//
+// Lock order: Cond.mu is taken strictly above any counter-internal
+// lock (Value, Sentinel, and cancel are called with Cond.mu held; the
+// engine never calls back into the Cond except through the hook fn,
+// which only records the kick and spawns the evaluator).
+type Cond struct {
+	pred Pred
+	cs   []Counter
+
+	mu        sync.Mutex
+	done      chan struct{}
+	satisfied bool
+	started   bool // sentinels armed (some Wait has begun and not all waiters left)
+	waiters   int
+	armed     []sentinel
+	vals      []uint64 // scratch: last-read bounds
+	fronts    []uint64 // scratch: frontier levels
+
+	// fires counts sentinel hook fires — the kicks delivered on wake
+	// paths. Atomic: it is the only Cond state a signaller touches.
+	fires atomic.Uint64
+	// arms and reparks count sentinel registrations, total and beyond
+	// each counter's first; guarded by mu.
+	arms    uint64
+	reparks uint64
+}
+
+// sentinel is one counter's armed hook, if any.
+type sentinel struct {
+	on     bool
+	seen   bool // this counter has been armed at least once (repark accounting)
+	cancel func() bool
+}
+
+// NewCond returns an unsatisfied Cond waiting for pred over the given
+// counters. The counters' order is the coordinate order pred sees. A
+// Thresholds predicate must be given exactly as many counters as it
+// has levels.
+func NewCond(pred Pred, counters ...Counter) *Cond {
+	if pred == nil {
+		panic("predicate: NewCond requires a predicate")
+	}
+	if len(counters) == 0 {
+		panic("predicate: NewCond requires at least one counter")
+	}
+	if th, ok := pred.(thresholds); ok && len(th.levels) != len(counters) {
+		panic("predicate: Thresholds level count does not match counter count")
+	}
+	return &Cond{
+		pred:   pred,
+		cs:     counters,
+		done:   make(chan struct{}),
+		armed:  make([]sentinel, len(counters)),
+		vals:   make([]uint64, len(counters)),
+		fronts: make([]uint64, len(counters)),
+	}
+}
+
+// fire is the sentinel hook shared by every watched counter: it runs on
+// the waking goroutine with no locks held, so it only records the kick
+// and hands re-evaluation to a short-lived goroutine — the signaller's
+// critical path never pays for predicate evaluation, and between kicks
+// the Cond holds no goroutine at all.
+func (c *Cond) fire() {
+	c.fires.Add(1)
+	go c.kick()
+}
+
+// kick re-evaluates after a sentinel fire. If every waiter has since
+// abandoned the wait (started dropped), the kick is moot: the fired
+// sentinel was one-shot, nothing remains armed on that counter, and the
+// next Wait re-arms from scratch.
+func (c *Cond) kick() {
+	c.mu.Lock()
+	if c.started && !c.satisfied {
+		c.evaluateLocked()
+	}
+	c.mu.Unlock()
+}
+
+// satisfyLocked settles the Cond: cancel whatever is still armed and
+// release every waiter with one channel close. Called with mu held.
+func (c *Cond) satisfyLocked() {
+	c.disarmLocked()
+	c.satisfied = true
+	close(c.done)
+}
+
+// disarmLocked cancels every armed sentinel. A sentinel that already
+// fired reports false from cancel, which is fine — its hook is spent
+// and its node accounting already drained. Called with mu held.
+func (c *Cond) disarmLocked() {
+	for i := range c.armed {
+		if c.armed[i].on {
+			c.armed[i].on = false
+			c.armed[i].cancel()
+		}
+	}
+}
+
+// evaluateLocked reads fresh bounds, settles the Cond if the predicate
+// holds, and otherwise re-parks one sentinel per still-unsatisfied
+// coordinate at the predicate's frontier levels. Called with mu held.
+//
+// The whole armed set is rebuilt on every pass: sentinels are one-shot
+// and cheap (one waiter count on a node), and rebuilding makes the
+// fired/cancelled bookkeeping trivially correct — there is never a
+// stale hook to reason about. The loop re-runs only when a counter
+// advanced past its frontier while arming (Sentinel reported
+// not-armed), which strictly raises the next pass's bounds, so it
+// terminates.
+func (c *Cond) evaluateLocked() {
+	for {
+		c.disarmLocked()
+		for i, ctr := range c.cs {
+			c.vals[i] = ctr.Value()
+		}
+		if c.pred.Holds(c.vals) {
+			c.satisfyLocked()
+			return
+		}
+		c.pred.Frontiers(c.vals, c.fronts)
+		stale := false
+		for i, ctr := range c.cs {
+			if c.fronts[i] <= c.vals[i] {
+				continue // coordinate already satisfied: no sentinel
+			}
+			cancel, armed := ctr.Sentinel(c.fronts[i], c.fire)
+			if !armed {
+				// The counter crossed the frontier between the Value
+				// read and the registration; everything armed so far
+				// would wait on stale frontiers, so start over with
+				// fresh bounds.
+				stale = true
+				break
+			}
+			c.arms++
+			if c.armed[i].seen {
+				c.reparks++
+			}
+			c.armed[i] = sentinel{on: true, seen: true, cancel: cancel}
+		}
+		if !stale {
+			return
+		}
+	}
+}
+
+// Wait blocks until the predicate holds or ctx is cancelled. A
+// satisfied predicate beats a cancelled context — Wait evaluates before
+// consulting ctx, and re-checks satisfaction when the two race — and
+// cancellation leaves no trace: when the last waiter gives up, every
+// sentinel is cancelled and the watched counters are exactly as if the
+// Cond never existed. Any number of goroutines may Wait concurrently;
+// all are released by the single satisfying evaluation.
+func (c *Cond) Wait(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.satisfied {
+		if !c.started {
+			c.started = true
+			c.evaluateLocked()
+		} else if c.pred.Holds(c.readLocked()) {
+			// Already armed by an earlier waiter: a cheap re-check (no
+			// re-arm) keeps "satisfied beats cancelled" exact even when
+			// a kick is still in flight to the evaluator goroutine.
+			c.satisfyLocked()
+		}
+	}
+	if c.satisfied {
+		c.mu.Unlock()
+		return nil
+	}
+	c.waiters++
+	c.mu.Unlock()
+
+	select {
+	case <-c.done:
+		c.mu.Lock()
+		c.waiters--
+		c.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.waiters--
+		if c.satisfied {
+			return nil // satisfaction and cancellation raced: satisfied wins
+		}
+		if c.waiters == 0 {
+			// Last waiter out turns off the lights: no sentinel stays
+			// parked for a wait nobody is waiting on.
+			c.disarmLocked()
+			c.started = false
+		}
+		return ctx.Err()
+	}
+}
+
+// readLocked refreshes and returns the value bounds. Called with mu
+// held.
+func (c *Cond) readLocked() []uint64 {
+	for i, ctr := range c.cs {
+		c.vals[i] = ctr.Value()
+	}
+	return c.vals
+}
+
+// Poll reports whether the predicate holds right now, settling the Cond
+// (and releasing any waiters) if it does. It never arms sentinels and
+// never blocks — the zero/negative-timeout analogue of Wait.
+func (c *Cond) Poll() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.satisfied {
+		return true
+	}
+	if c.pred.Holds(c.readLocked()) {
+		c.satisfyLocked()
+		return true
+	}
+	return false
+}
+
+// Done returns a channel closed when the predicate holds. It does NOT
+// arm the Cond: a Done-only observer sees satisfaction only once some
+// Wait or Poll has driven evaluation. It exists for composing a Cond
+// into selects alongside a Wait elsewhere.
+func (c *Cond) Done() <-chan struct{} { return c.done }
+
+// CondStats is a snapshot of a Cond's mechanism counters, for tests and
+// the E24 experiment.
+type CondStats struct {
+	Fires     uint64 // sentinel hook fires (re-evaluation kicks)
+	Arms      uint64 // sentinel registrations, total
+	Reparks   uint64 // registrations beyond each counter's first — frontier moves
+	Armed     int    // sentinels currently armed
+	Waiters   int    // goroutines currently blocked in Wait
+	Satisfied bool
+}
+
+// Stats returns a snapshot of the Cond's mechanism counters.
+func (c *Cond) Stats() CondStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CondStats{
+		Fires:     c.fires.Load(),
+		Arms:      c.arms,
+		Reparks:   c.reparks,
+		Waiters:   c.waiters,
+		Satisfied: c.satisfied,
+	}
+	for i := range c.armed {
+		if c.armed[i].on {
+			s.Armed++
+		}
+	}
+	return s
+}

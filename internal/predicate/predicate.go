@@ -1,0 +1,169 @@
+// Package predicate generalizes Check(level) — the monotone predicate
+// "value >= L" over one counter — to waits on monotone predicates over
+// several counters: a + b >= L, min(a, b) >= L, k of n counters at a
+// threshold. It is the engine behind the public counter/wait package
+// and the derived-layer composites (Quorum, latch combinators).
+//
+// The mechanism reuses the counters' own per-level waitlists instead of
+// polling or per-waiter bookkeeping: a Cond arms one *sentinel* hook
+// (core's Sentineler surface) per watched counter, parked at that
+// counter's frontier — the lowest level at which the predicate could
+// possibly flip given everything known about the other counters. When a
+// sentinel fires, the Cond re-evaluates, re-parks sentinels at the new
+// frontiers, and releases its waiters only once the predicate holds. N
+// goroutines waiting on one Cond therefore cost O(watched counters)
+// parked nodes — one per counter, shared by all N — not O(N × counters),
+// which is the paper's storage argument carried up one tier (AutoSynch's
+// wake-exactly-the-right-waiters property, with the waitlist node as the
+// predicate tag).
+//
+// Frontier correctness is the heart of it. For a sum a+b >= L it is NOT
+// enough to park b's sentinel at L - value(a): if both counters then
+// advance partway (a to 3 and b to 7 with L = 10), the sum flips with
+// neither frontier reached and every waiter sleeps forever. Sum
+// frontiers instead share the remaining gap g = L - sum by pigeonhole:
+// every counter's sentinel parks at value(i) + ceil(g/n). If the
+// predicate flips, the total gain is at least g, so some counter gained
+// at least ceil(g/n) and that sentinel fires — no increment pattern can
+// flip the predicate silently.
+// Threshold predicates (min, k-of-n) have exact frontiers: the
+// unsatisfied counters' own threshold levels.
+//
+// Re-evaluation happens OFF the signaller's critical path: a sentinel
+// fire only records a kick and spawns a short-lived evaluator goroutine
+// (ActiveMonitor's discipline), so an Increment that satisfies a
+// predicate pays one hook call, not a predicate evaluation, under no
+// lock. Between fires a Cond holds zero goroutines.
+//
+// Monotonicity does the rest of the safety argument: every Counter
+// value only grows, so Holds can never flip back, frontiers only move
+// up, and a stale Value read only under-estimates — exactly the
+// properties that make Check race-free make WaitFor race-free.
+package predicate
+
+// Counter is the view of a monotonic counter the predicate engine
+// needs: a monotone lower bound on the value and the sentinel hook
+// surface. Every implementation in internal/core satisfies it directly
+// (Value, Sentinel); the public counter facade satisfies it through
+// counter/wait's adapter (Watermark is its lower bound).
+type Counter interface {
+	// Value returns a monotone lower bound on the counter's value: it
+	// may lag the true value, but must never exceed it and must never
+	// decrease. (For in-process counters it is exact; for remote
+	// counters it is the client's satisfied watermark.)
+	Value() uint64
+	// Sentinel arms a one-shot hook at level; see core.Sentineler for
+	// the full contract (spurious early fires allowed, fn must not
+	// block, cancel reports whether fn was prevented).
+	Sentinel(level uint64, fn func()) (cancel func() bool, armed bool)
+}
+
+// Pred is a monotone predicate over an ordered set of counters: if it
+// holds for values v it must hold for any pointwise-greater values.
+// Implementations must be stateless and cheap — Holds and Frontiers run
+// under the Cond's lock.
+type Pred interface {
+	// Holds reports whether the predicate is satisfied at vals.
+	Holds(vals []uint64) bool
+	// Frontiers fills out[i] with the level counter i's sentinel should
+	// park at, given the bounds vals (for which Holds returned false).
+	// Contract: out[i] <= some future value at which re-evaluation is
+	// safe; out[i] <= vals[i] means counter i needs no sentinel; and for
+	// any pointwise advance of vals that makes Holds true, at least one
+	// i must have advanced to out[i] — the no-lost-wake property.
+	Frontiers(vals, out []uint64)
+}
+
+// sum is the predicate sum(values) >= target, with pigeonhole
+// gap-sharing frontiers (see the package comment for why the naive
+// "L minus the others" frontier deadlocks).
+type sum struct{ target uint64 }
+
+// SumAtLeast returns the predicate "the values of all watched counters
+// sum to at least target". The sum saturates at the uint64 maximum, so
+// overflow can only make the predicate hold earlier, never wrap.
+func SumAtLeast(target uint64) Pred { return sum{target: target} }
+
+func satSum(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		if s+v < s {
+			return ^uint64(0)
+		}
+		s += v
+	}
+	return s
+}
+
+func (p sum) Holds(vals []uint64) bool { return satSum(vals) >= p.target }
+
+func (p sum) Frontiers(vals, out []uint64) {
+	// Holds is false, so the sum is exact (no saturation) and below
+	// target. Every counter's frontier is its value plus ceil(g/n): if
+	// the sum flips, the total gain is at least g, and n gains all below
+	// ceil(g/n) would total at most n*(ceil(g/n)-1) < g — so at least
+	// one counter reaches its frontier and its sentinel fires. (A floor
+	// share would break this: a counter with share zero gets no sentinel
+	// yet can absorb the entire gap by itself.) Since ceil(g/n) <= g <=
+	// target - vals[i] for every i, no frontier can exceed target, hence
+	// no overflow.
+	g := p.target - satSum(vals)
+	n := uint64(len(vals))
+	share := g / n
+	if g%n != 0 {
+		share++
+	}
+	for i := range vals {
+		out[i] = vals[i] + share
+	}
+}
+
+// thresholds is the predicate "at least k of the counters have reached
+// their own level" — min (k = n), any (k = 1), and quorum in one shape.
+type thresholds struct {
+	levels []uint64
+	k      int
+}
+
+// Thresholds returns the predicate "at least k of the watched counters
+// have reached their respective levels[i]". k must be between 1 and
+// len(levels); the Cond pairing it with counters must watch exactly
+// len(levels) of them. AllAtLeast / min-style waits are k = len(levels);
+// any-style waits are k = 1.
+func Thresholds(levels []uint64, k int) Pred {
+	if len(levels) == 0 {
+		panic("predicate: Thresholds requires at least one level")
+	}
+	if k < 1 || k > len(levels) {
+		panic("predicate: Thresholds requires 1 <= k <= len(levels)")
+	}
+	return thresholds{levels: append([]uint64(nil), levels...), k: k}
+}
+
+func (p thresholds) Holds(vals []uint64) bool {
+	reached := 0
+	for i, v := range vals {
+		if v >= p.levels[i] {
+			reached++
+			if reached >= p.k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p thresholds) Frontiers(vals, out []uint64) {
+	// Exact frontiers: an unsatisfied counter flips its own coordinate
+	// precisely at its threshold; a satisfied one can never need to
+	// move again (out[i] = vals[i] marks it sentinel-free). Fewer than
+	// k coordinates are satisfied when this runs, so at least one
+	// sentinel is always armed — the k-th arrival must cross one.
+	for i, v := range vals {
+		if v >= p.levels[i] {
+			out[i] = v
+		} else {
+			out[i] = p.levels[i]
+		}
+	}
+}
