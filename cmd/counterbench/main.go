@@ -1,4 +1,4 @@
-// Command counterbench runs the reproduction experiments (E1-E24 in
+// Command counterbench runs the reproduction experiments (E1-E25 in
 // DESIGN.md) and prints their tables, regenerating the contents of
 // EXPERIMENTS.md.
 //
@@ -8,6 +8,7 @@
 //	counterbench -exp E4,E5      # run a subset
 //	counterbench -quick          # reduced sizes (seconds, not minutes)
 //	counterbench -procs 1,2,4    # GOMAXPROCS sweep: run everything once per proc count
+//	counterbench -cpuprofile p   # write p-p<N>.pprof per swept proc count
 //	counterbench -list           # list experiment IDs and titles
 package main
 
@@ -18,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -77,6 +79,7 @@ func main() {
 		csv     = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonOut = flag.String("json", "", "also write machine-readable results (tables + environment) to this file")
 		procs   = flag.String("procs", "auto", "GOMAXPROCS values to sweep: comma-separated (e.g. 1,2,4; values above NumCPU measure oversubscribed contention), or 'auto' for 1,2,4,8 capped at NumCPU")
+		cpuprof = flag.String("cpuprofile", "", "write one CPU profile per swept proc count to <name>-p<N>.pprof (next to the -json report, typically)")
 	)
 	flag.Parse()
 
@@ -138,6 +141,23 @@ func main() {
 		} else if len(procList) > 1 {
 			fmt.Printf("==== GOMAXPROCS=%d ====\n\n", p)
 		}
+		// One profile per proc value: a single profile spanning the sweep
+		// would blur exactly the per-core differences the sweep exists to
+		// expose.
+		var profFile *os.File
+		if *cpuprof != "" {
+			name := fmt.Sprintf("%s-p%d.pprof", strings.TrimSuffix(*cpuprof, ".pprof"), p)
+			f, err := os.Create(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+				os.Exit(1)
+			}
+			profFile = f
+		}
 		run := jsonRun{GOMAXPROCS: p}
 		for _, e := range selected {
 			var tables []*harness.Table
@@ -165,6 +185,13 @@ func main() {
 					je.Tables = append(je.Tables, jsonTable{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
 				}
 				run.Experiments = append(run.Experiments, je)
+			}
+		}
+		if profFile != nil {
+			pprof.StopCPUProfile()
+			if err := profFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "counterbench: %v\n", err)
+				os.Exit(1)
 			}
 		}
 		report.Runs = append(report.Runs, run)

@@ -14,9 +14,9 @@ import (
 // goroutine-backed polled fallback.
 type bare struct{ c counter.Interface }
 
-func (b bare) Increment(amount uint64)       { b.c.Increment(amount) }
-func (b bare) Check(level uint64)            { b.c.Check(level) }
-func (b bare) Reset()                        { b.c.Reset() }
+func (b bare) Increment(amount uint64) { b.c.Increment(amount) }
+func (b bare) Check(level uint64)      { b.c.Check(level) }
+func (b bare) Reset()                  { b.c.Reset() }
 func (b bare) WaitTimeout(level uint64, d time.Duration) bool {
 	return b.c.WaitTimeout(level, d)
 }

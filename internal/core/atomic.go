@@ -5,74 +5,92 @@ import (
 	"sync/atomic"
 )
 
-// AtomicCounter is the reference list design augmented with a lock-free
-// fast path: Check loads the value with a single atomic read and returns
-// without taking the mutex when the level is already satisfied. Because the
-// value is monotonic, a stale read can only under-estimate it, so a
+// AtomicCounter is the scaling list design: the lock-free watermark fast
+// path of the reference counter plus a striped level index (stripes.go),
+// so the slow path — Check registration on a not-yet-satisfied level —
+// no longer serializes on the engine mutex either. Because the value is
+// monotonic, a stale watermark read can only under-estimate it, so a
 // satisfied fast-path read is always safe; an unsatisfied read falls
-// through to the locked slow path, which re-checks under the mutex before
-// suspending. This is the ablation quantifying how much of counter overhead
-// is the mutex on the already-satisfied path (experiment E11).
+// through to the level's stripe, which re-checks the watermark under the
+// stripe mutex before suspending (the Dekker handshake documented in
+// stripes.go). This is the ablation quantifying the read side's mutex
+// cost (experiments E11 and E25).
 //
-// The slow path is the shared waitlist engine over the plain sorted-list
-// index. Wake-ups are issued after the engine mutex is released, so a
-// large fan-out never serializes behind the incrementer. Fast-path
-// satisfied checks are tallied on a striped counter (stripedUint64) so
-// concurrent readers do not serialize on one stats cache line.
+// The engine mutex survives only on the write side: Increment serializes
+// the value update under it, publishes the watermark, and then sweeps
+// the stripes out of lock. Wake-ups are issued with no lock held, as
+// everywhere in the engine.
 //
 // The zero value is a valid counter with value zero.
 type AtomicCounter struct {
-	value atomic.Uint64 // published after the list update; monotonic
+	value atomic.Uint64 // published before any stripe sweep; monotonic
 
-	wl   waitlist
-	list listIndex
+	wl  waitlist
+	idx stripedList
 	// fastChecks counts satisfied lock-free checks; folded into
-	// Stats.ImmediateChecks alongside the engine's locked tally.
+	// Stats.ImmediateChecks alongside the striped and locked tallies.
 	fastChecks stripedUint64
 }
 
 // NewAtomic returns an AtomicCounter with value zero.
 func NewAtomic() *AtomicCounter { return new(AtomicCounter) }
 
+// NewAtomicStripes returns an AtomicCounter whose level index has
+// exactly n stripes (rounded up to a power of two) instead of the
+// stripeCount() default. NewAtomicStripes(1) is the single-index engine
+// — one stripe holding one sorted list behind one mutex — which is what
+// E25 measures the striped default against.
+func NewAtomicStripes(n int) *AtomicCounter {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	c := new(AtomicCounter)
+	c.idx.ensure(size)
+	return c
+}
+
 // Increment implements Interface. Increment(0) is a no-op and returns
-// before touching the lock.
+// before touching the lock. A non-waking increment takes the engine
+// mutex for the value update and then pays one atomic load per stripe —
+// zero stripe locks (the per-stripe minimum gate).
 func (c *AtomicCounter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	c.wl.mu.Lock()
+	c.wl.lock()
 	v := checkedAdd(c.value.Load(), amount)
-	// Publish before waking so a fast-path reader that raced past the
+	// Publish before sweeping: the watermark store must precede the
+	// stripe-minimum loads (collect) for the lost-wake handshake, and
+	// must precede any wake so a fast-path reader that raced past the
 	// mutex observes the new value no later than woken waiters do.
 	c.value.Store(v)
 	c.wl.stats.increments++
-	head, _ := c.list.popSatisfied(v)
-	for n := head; n != nil; n = n.next {
-		c.wl.satisfyLocked(n)
-	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
+	head := c.idx.collect(v)
 	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
 }
 
-// Check implements Interface.
+// Check implements Interface. The satisfied case is one atomic load and
+// no mutex; the unsatisfied case registers on the level's stripe and
+// never touches the engine mutex at all.
 func (c *AtomicCounter) Check(level uint64) {
 	if level <= c.value.Load() {
 		c.fastChecks.Add(1)
 		return // fast path: already satisfied, no lock
 	}
-	c.wl.mu.Lock()
-	if level <= c.value.Load() {
-		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+	n, done := c.idx.register(&c.wl, level, &c.value, true)
+	if done {
 		return
 	}
-	n := c.wl.join(&c.list, level)
-	c.wl.mu.Unlock()
 	c.wl.wait(n)
-	c.wl.drain(&c.list, n)
+	c.wl.drain(nil, n)
 }
 
 // CheckContext implements Interface. The satisfied fast path is checked
@@ -89,43 +107,53 @@ func (c *AtomicCounter) CheckContext(ctx context.Context, level uint64) error {
 		c.Check(level)
 		return nil
 	}
-	c.wl.mu.Lock()
-	if level <= c.value.Load() {
-		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
-		return nil
-	}
 	if err := ctx.Err(); err != nil {
-		c.wl.mu.Unlock()
+		// Re-check the watermark after the context: a satisfied level
+		// beats a cancelled context even when both raced this call.
+		if level <= c.value.Load() {
+			c.fastChecks.Add(1)
+			return nil
+		}
 		return err
 	}
-	n := c.wl.join(&c.list, level)
-	c.wl.mu.Unlock()
+	n, ok := c.idx.register(&c.wl, level, &c.value, true)
+	if ok {
+		return nil
+	}
 	err := c.wl.waitCtx(ctx, n)
-	c.wl.drain(&c.list, n)
+	c.wl.drain(nil, n)
 	return err
 }
 
 // Reset implements Interface. Stats are cumulative and survive the
 // reset.
 func (c *AtomicCounter) Reset() {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	if c.wl.busyLocked() || c.list.head != nil {
+	c.wl.lock()
+	defer c.wl.unlock()
+	if c.wl.busyLocked() || c.idx.busy() {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value.Store(0)
 }
 
-// Value implements Interface. For inspection and testing only.
+// Value implements Interface. Lock-free: the watermark is the value.
 func (c *AtomicCounter) Value() uint64 { return c.value.Load() }
 
 // Stats implements StatsProvider: the engine's collector plus the
-// lock-free satisfied-check tally.
+// striped registration tallies and the lock-free satisfied-check tally.
+// readStats loads the wake-side atomics first, so folding the striped
+// satisfied count afterwards keeps Broadcasts <= SatisfiedLevels.
 func (c *AtomicCounter) Stats() Stats {
 	s := c.wl.readStats()
+	c.idx.foldStats(&s)
 	s.ImmediateChecks += c.fastChecks.Load()
 	return s
+}
+
+// LockAcquires implements LockCounter: engine-mutex plus stripe-mutex
+// acquisitions recorded while SetLockCounting was enabled.
+func (c *AtomicCounter) LockAcquires() uint64 {
+	return c.wl.lockAcquires.Load() + c.idx.locks.Load()
 }
 
 // SetProbe implements ProbeSetter. Fast-path satisfied checks emit no
@@ -138,3 +166,4 @@ func (c *AtomicCounter) SetProbe(f func(Event)) {
 var _ Interface = (*AtomicCounter)(nil)
 var _ StatsProvider = (*AtomicCounter)(nil)
 var _ ProbeSetter = (*AtomicCounter)(nil)
+var _ LockCounter = (*AtomicCounter)(nil)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -125,6 +126,53 @@ func BenchmarkBroadcastLatency(b *testing.B) {
 				c.Increment(1)
 				wait()
 			}
+		})
+	}
+}
+
+// BenchmarkCheckSatisfied measures Check on an already-satisfied level —
+// the watermark fast path. Every implementation should resolve this with
+// one atomic load and no mutex, so the sub-benchmarks should be nearly
+// indistinguishable and flat in the number of parallel callers.
+func BenchmarkCheckSatisfied(b *testing.B) {
+	for _, impl := range Registry() {
+		b.Run(string(impl), func(b *testing.B) {
+			c := NewImpl(impl)
+			c.Increment(1)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.Check(1)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCheckStorm measures registration pressure on the level index:
+// every worker repeatedly arms and immediately cancels a sentinel at its
+// own distinct never-satisfied level — Check's slow-path registration
+// and cancellation drain without the park. On the single-index designs
+// all workers serialize on the engine mutex; on the striped index
+// distinct levels hash to distinct stripes, so this is the benchmark the
+// E25 scaling claim is about.
+func BenchmarkCheckStorm(b *testing.B) {
+	for _, impl := range Registry() {
+		b.Run(string(impl), func(b *testing.B) {
+			c := NewImpl(impl).(Sentineler)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				// Worker-unique level far above anything Increment could
+				// reach, so registration never self-satisfies.
+				level := uint64(1)<<40 + worker.Add(1)<<20
+				for pb.Next() {
+					cancel, armed := c.Sentinel(level, func() {})
+					if armed {
+						cancel()
+					}
+				}
+			})
 		})
 	}
 }

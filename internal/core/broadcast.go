@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 )
 
 // BroadcastCounter is the naive baseline the paper's cost analysis argues
@@ -20,12 +21,20 @@ import (
 // the engine mutex to re-check its level, which is the O(waiters) cost
 // the per-level designs avoid.
 //
+// Even the naive baseline gets the watermark fast path shared by every
+// impl — an already-satisfied Check is one atomic load, no mutex — so
+// E25's zero-lock assertion holds uniformly and the ablation isolates
+// the wake policy, not the read path.
+//
 // The zero value is a valid counter with value zero.
 type BroadcastCounter struct {
 	wl    waitlist
-	value uint64
-	round *waitNode // node all current waiters sleep on; nil when none joined since the last increment
-	wakes uint64    // cumulative waiter wake-ups (each re-check after a broadcast)
+	value atomic.Uint64 // mutated only under wl.mu; read lock-free as the watermark
+	round *waitNode     // node all current waiters sleep on; nil when none joined since the last increment
+	wakes uint64        // cumulative waiter wake-ups (each re-check after a broadcast)
+	// fastChecks counts satisfied lock-free checks; folded into
+	// Stats.ImmediateChecks alongside the engine's locked tally.
+	fastChecks stripedUint64
 }
 
 // NewBroadcast returns a BroadcastCounter with value zero.
@@ -57,15 +66,18 @@ func (c *BroadcastCounter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	c.wl.mu.Lock()
-	c.value = checkedAdd(c.value, amount)
+	c.wl.lock()
+	// Publish the watermark before any wake so a fast-path reader that
+	// raced past the mutex observes the new value no later than woken
+	// waiters do.
+	c.value.Store(checkedAdd(c.value.Load(), amount))
 	c.wl.stats.increments++
 	n := c.round
 	if n != nil {
 		c.round = nil
 		c.wl.satisfyLocked(n)
 	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	c.wl.emit(EventIncrement, amount)
 	if n != nil {
 		c.wl.wakeBatch(n)
@@ -76,21 +88,25 @@ func (c *BroadcastCounter) Increment(amount uint64) {
 // the next round, so Suspends counts every park — the thundering-herd
 // cost made visible in the unified schema.
 func (c *BroadcastCounter) Check(level uint64) {
-	c.wl.mu.Lock()
-	if level <= c.value {
-		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
 		return
 	}
-	for level > c.value {
+	c.wl.lock()
+	if level <= c.value.Load() {
+		c.wl.stats.immediateChecks++
+		c.wl.unlock()
+		return
+	}
+	for level > c.value.Load() {
 		n := c.wl.join(c, level)
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		c.wl.wait(n)
 		c.wl.drain(c, n)
-		c.wl.mu.Lock()
+		c.wl.lock()
 		c.wakes++
 	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 }
 
 // CheckContext implements Interface. The value is consulted before the
@@ -103,65 +119,79 @@ func (c *BroadcastCounter) CheckContext(ctx context.Context, level uint64) error
 		c.Check(level)
 		return nil
 	}
-	c.wl.mu.Lock()
-	if level <= c.value {
-		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+	// Satisfied beats cancelled: the watermark is consulted first, and
+	// the satisfied case takes no mutex.
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
 		return nil
 	}
-	for level > c.value {
+	c.wl.lock()
+	if level <= c.value.Load() {
+		c.wl.stats.immediateChecks++
+		c.wl.unlock()
+		return nil
+	}
+	for level > c.value.Load() {
 		if err := ctx.Err(); err != nil {
-			c.wl.mu.Unlock()
+			c.wl.unlock()
 			return err
 		}
 		n := c.wl.join(c, level)
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		err := c.wl.waitCtx(ctx, n)
 		c.wl.drain(c, n)
-		c.wl.mu.Lock()
+		c.wl.lock()
 		if n.set.Load() {
 			c.wakes++
 		}
-		if err != nil && level > c.value {
-			c.wl.mu.Unlock()
+		if err != nil && level > c.value.Load() {
+			c.wl.unlock()
 			return err
 		}
 	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	return nil
 }
 
 // Reset implements Interface. Stats are cumulative and survive the
 // reset.
 func (c *BroadcastCounter) Reset() {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
+	c.wl.lock()
+	defer c.wl.unlock()
 	if c.wl.busyLocked() || c.round != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
-	c.value = 0
+	c.value.Store(0)
 }
 
-// Value implements Interface. For inspection and testing only.
+// Value implements Interface. Lock-free: the watermark is the value.
 func (c *BroadcastCounter) Value() uint64 {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	return c.value
+	return c.value.Load()
 }
 
 // Wakes reports the cumulative number of waiter wake-ups; with W waiters
 // and I increments this grows as O(W*I), the cost the per-level designs
 // avoid.
 func (c *BroadcastCounter) Wakes() uint64 {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
+	c.wl.lock()
+	defer c.wl.unlock()
 	return c.wakes
 }
 
-// Stats implements StatsProvider with the engine's collector. For this
-// baseline PeakLevels is the peak number of live round nodes (at most
-// 1) and SatisfiedLevels counts satisfied wake rounds; see Increment.
-func (c *BroadcastCounter) Stats() Stats { return c.wl.readStats() }
+// Stats implements StatsProvider with the engine's collector plus the
+// lock-free fast-path checks. For this baseline PeakLevels is the peak
+// number of live round nodes (at most 1) and SatisfiedLevels counts
+// satisfied wake rounds; see Increment.
+func (c *BroadcastCounter) Stats() Stats {
+	s := c.wl.readStats()
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// LockAcquires implements LockCounter.
+func (c *BroadcastCounter) LockAcquires() uint64 {
+	return c.wl.lockAcquires.Load()
+}
 
 // SetProbe implements ProbeSetter. EventSuspend fires per park, so a
 // probe sees the herd re-park after every under-level wake.
@@ -171,3 +201,4 @@ var _ Interface = (*BroadcastCounter)(nil)
 var _ levelIndex = (*BroadcastCounter)(nil)
 var _ StatsProvider = (*BroadcastCounter)(nil)
 var _ ProbeSetter = (*BroadcastCounter)(nil)
+var _ LockCounter = (*BroadcastCounter)(nil)

@@ -236,7 +236,9 @@ func TestNoGoroutinePerCheckContext(t *testing.T) {
 // TestCancelStormKeepsCounterCorrect interleaves a cancellation storm
 // with real increments and asserts no waiter entitled to pass is lost
 // and the structure stays clean, for every implementation.
-func TestCancelStormKeepsCounterCorrect(t *testing.T) {
+func TestCancelStormKeepsCounterCorrect(t *testing.T) { runCancelStormKeepsCounterCorrect(t) }
+
+func runCancelStormKeepsCounterCorrect(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, c Interface) {
 		const (
 			increments = 200

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // ChanCounter is the idiomatic-Go translation of the monotonic counter:
@@ -25,13 +26,32 @@ import (
 // Broadcasts == 0. It is the one registry implementation without a
 // probe hook (no engine to hang it on); it is stats-only.
 //
+// Like every registry implementation, ChanCounter publishes its value as
+// an atomic watermark (stored under mu, before any gate close) so an
+// already-satisfied Check/CheckContext is one atomic load with no mutex.
+//
 // The zero value is a valid counter with value zero.
 type ChanCounter struct {
 	mu     sync.Mutex
-	value  uint64
+	value  atomic.Uint64    // mutated only under mu; read lock-free as the watermark
 	levels map[uint64]*gate // level -> close-on-satisfy gate
 	sweeps uint64           // gate-map scans by Increment, for regression tests
 	stats  chanStats
+	// fastChecks counts satisfied lock-free checks; folded into
+	// Stats.ImmediateChecks alongside the locked tally.
+	fastChecks stripedUint64
+	// lockAcquires counts mu acquisitions while SetLockCounting is
+	// enabled (the E25 probe — ChanCounter's one mutex plays the role of
+	// the engine mutex).
+	lockAcquires atomic.Uint64
+}
+
+// lock takes the counter mutex through the counting probe.
+func (c *ChanCounter) lock() {
+	c.mu.Lock()
+	if lockCounting.Load() {
+		c.lockAcquires.Add(1)
+	}
 }
 
 // chanStats mirrors the engine collector's mutex-guarded half for the
@@ -62,14 +82,18 @@ func (c *ChanCounter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	c.mu.Lock()
-	old := c.value
-	c.value = checkedAdd(old, amount)
+	c.lock()
+	old := c.value.Load()
+	v := checkedAdd(old, amount)
+	// Publish the watermark before closing any gate so a fast-path
+	// reader that raced past the mutex observes the new value no later
+	// than woken waiters do.
+	c.value.Store(v)
 	c.stats.increments++
 	if len(c.levels) != 0 {
 		c.sweeps++
 		for level, g := range c.levels {
-			if level > old && level <= c.value {
+			if level > old && level <= v {
 				close(g.ch)
 				delete(c.levels, level)
 				c.stats.satisfiedLevels++
@@ -79,8 +103,13 @@ func (c *ChanCounter) Increment(amount uint64) {
 	c.mu.Unlock()
 }
 
-// Check implements Interface.
+// Check implements Interface. The satisfied case is one atomic
+// watermark load — no mutex.
 func (c *ChanCounter) Check(level uint64) {
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return
+	}
 	g := c.acquire(level)
 	if g == nil {
 		return
@@ -94,6 +123,10 @@ func (c *ChanCounter) Check(level uint64) {
 // context — including the race where satisfaction and cancellation
 // arrive together.
 func (c *ChanCounter) CheckContext(ctx context.Context, level uint64) error {
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return nil
+	}
 	if err := ctx.Err(); err != nil {
 		// No waiter will park, so don't build a gate; the value is
 		// still consulted first — satisfied beats cancelled.
@@ -121,10 +154,8 @@ func (c *ChanCounter) CheckContext(ctx context.Context, level uint64) error {
 }
 
 func (c *ChanCounter) satisfied(level uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if level <= c.value {
-		c.stats.immediateChecks++
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
 		return true
 	}
 	return false
@@ -134,9 +165,9 @@ func (c *ChanCounter) satisfied(level uint64) bool {
 // as a waiter, or nil if the level is already satisfied. Every acquire
 // must be paired with a release.
 func (c *ChanCounter) acquire(level uint64) *gate {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
-	if level <= c.value {
+	if level <= c.value.Load() {
 		c.stats.immediateChecks++
 		return nil
 	}
@@ -161,9 +192,12 @@ func (c *ChanCounter) acquire(level uint64) *gate {
 // model — no goroutine blocks on a sentinel and no Check was issued.
 // Every non-nil return must be paired with a release.
 func (c *ChanCounter) acquireSentinel(level uint64) *gate {
-	c.mu.Lock()
+	if level <= c.value.Load() {
+		return nil
+	}
+	c.lock()
 	defer c.mu.Unlock()
-	if level <= c.value {
+	if level <= c.value.Load() {
 		return nil
 	}
 	if c.levels == nil {
@@ -198,19 +232,17 @@ func (c *ChanCounter) release(level uint64, g *gate) {
 // parked on the counter, which the paper forbids during Reset. Stats
 // are cumulative and survive the reset.
 func (c *ChanCounter) Reset() {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	if len(c.levels) != 0 {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
-	c.value = 0
+	c.value.Store(0)
 }
 
-// Value implements Interface. For inspection and testing only.
+// Value implements Interface. Lock-free: the watermark is the value.
 func (c *ChanCounter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.value
+	return c.value.Load()
 }
 
 // LiveLevels reports the number of distinct levels currently waited on.
@@ -226,9 +258,8 @@ func (c *ChanCounter) LiveLevels() int {
 // Stats implements StatsProvider in the unified schema: one channel
 // close per satisfied level, never a broadcast.
 func (c *ChanCounter) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
+	c.lock()
+	s := Stats{
 		PeakLevels:      c.stats.peakLevels,
 		SatisfiedLevels: c.stats.satisfiedLevels,
 		ChannelCloses:   c.stats.satisfiedLevels,
@@ -236,7 +267,17 @@ func (c *ChanCounter) Stats() Stats {
 		ImmediateChecks: c.stats.immediateChecks,
 		Increments:      c.stats.increments,
 	}
+	c.mu.Unlock()
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// LockAcquires implements LockCounter: mutex acquisitions recorded while
+// SetLockCounting was enabled.
+func (c *ChanCounter) LockAcquires() uint64 {
+	return c.lockAcquires.Load()
 }
 
 var _ Interface = (*ChanCounter)(nil)
 var _ StatsProvider = (*ChanCounter)(nil)
+var _ LockCounter = (*ChanCounter)(nil)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Counter is the reference monotonic-counter implementation, following
@@ -22,11 +23,21 @@ import (
 // and also owns the cost-model instrumentation (Stats, stats.go).
 // Counter contributes the sorted-list index.
 //
+// The value doubles as a watermark: it is stored atomically (still only
+// under the engine mutex, and before any wake) so Check, CheckContext,
+// and WaitTimeout on an already-satisfied level return after one atomic
+// load with no mutex at all. Monotonicity makes that safe — a stale
+// read can only under-estimate — and the seq-cst store/load pair keeps
+// the happens-before edge from the publishing Increment.
+//
 // The zero value is a valid counter with value zero.
 type Counter struct {
 	wl    waitlist
-	value uint64
-	list  listIndex // ascending by level; satisfied nodes move to the engine's draining record
+	value atomic.Uint64 // mutated only under wl.mu; read lock-free as the watermark
+	list  listIndex     // ascending by level; satisfied nodes move to the engine's draining record
+	// fastChecks counts satisfied lock-free checks; folded into
+	// Stats.ImmediateChecks alongside the engine's locked tally.
+	fastChecks stripedUint64
 }
 
 // New returns a counter with value zero. Equivalent to new(Counter); it
@@ -43,30 +54,40 @@ func (c *Counter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	c.wl.mu.Lock()
-	c.value = checkedAdd(c.value, amount)
+	c.wl.lock()
+	v := checkedAdd(c.value.Load(), amount)
+	// Publish the watermark before any wake so a fast-path reader that
+	// raced past the mutex observes the new value no later than woken
+	// waiters do.
+	c.value.Store(v)
 	c.wl.stats.increments++
-	head, _ := c.list.popSatisfied(c.value)
+	head, _ := c.list.popSatisfied(v)
 	for n := head; n != nil; n = n.next {
 		c.wl.satisfyLocked(n)
 	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
 }
 
-// Check implements Interface.
+// Check implements Interface. The satisfied case is one atomic
+// watermark load — no mutex; only an unsatisfied level falls through to
+// the locked registration.
 func (c *Counter) Check(level uint64) {
-	c.wl.mu.Lock()
-	if level <= c.value {
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return
+	}
+	c.wl.lock()
+	if level <= c.value.Load() {
 		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		return
 	}
 	n := c.join(level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	c.wl.wait(n)
 	c.wl.drain(&c.list, n)
 }
@@ -81,18 +102,25 @@ func (c *Counter) CheckContext(ctx context.Context, level uint64) error {
 		c.Check(level)
 		return nil
 	}
-	c.wl.mu.Lock()
-	if level <= c.value {
+	// Satisfied beats cancelled, and the satisfied case is lock-free:
+	// the watermark is consulted before the context, same as the locked
+	// ordering below.
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return nil
+	}
+	c.wl.lock()
+	if level <= c.value.Load() {
 		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		return err
 	}
 	n := c.join(level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	err := c.wl.waitCtx(ctx, n)
 	c.wl.drain(&c.list, n)
 	return err
@@ -114,24 +142,31 @@ func (c *Counter) leave(n *waitNode) {
 // the counter, since the paper forbids Reset concurrent with other
 // operations. Stats are cumulative and survive the reset.
 func (c *Counter) Reset() {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
+	c.wl.lock()
+	defer c.wl.unlock()
 	if c.wl.busyLocked() || c.list.head != nil {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
-	c.value = 0
+	c.value.Store(0)
 }
 
-// Value implements Interface. For inspection and testing only.
+// Value implements Interface. Lock-free: the watermark is the value.
 func (c *Counter) Value() uint64 {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	return c.value
+	return c.value.Load()
 }
 
-// Stats implements StatsProvider with the engine's collector.
+// Stats implements StatsProvider with the engine's collector, folding in
+// the lock-free fast-path checks.
 func (c *Counter) Stats() Stats {
-	return c.wl.readStats()
+	s := c.wl.readStats()
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// LockAcquires implements LockCounter: engine-mutex acquisitions
+// recorded while SetLockCounting was enabled.
+func (c *Counter) LockAcquires() uint64 {
+	return c.wl.lockAcquires.Load()
 }
 
 // SetProbe implements ProbeSetter: f observes increment/suspend/wake
@@ -182,9 +217,9 @@ func (s Snapshot) String() string {
 // draining record; their levels are at most the value, so prepending
 // them to the live list preserves the figure's ascending order.
 func (c *Counter) Inspect() Snapshot {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	s := Snapshot{Value: c.value}
+	c.wl.lock()
+	defer c.wl.unlock()
+	s := Snapshot{Value: c.value.Load()}
 	for _, n := range c.wl.draining {
 		if n == nil { // already-retired slot
 			continue

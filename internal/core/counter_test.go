@@ -338,7 +338,9 @@ func TestWaitTimeout(t *testing.T) {
 // TestNoLostWakeups hammers a counter with concurrent incrementers and
 // checkers; every Check(level) with level <= total increments must
 // eventually return.
-func TestNoLostWakeups(t *testing.T) {
+func TestNoLostWakeups(t *testing.T) { runNoLostWakeups(t) }
+
+func runNoLostWakeups(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, c Interface) {
 		const (
 			incrementers = 4

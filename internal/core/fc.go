@@ -31,11 +31,23 @@ import (
 //
 // The zero value is a valid counter with value zero.
 type FCCounter struct {
-	value atomic.Uint64 // published after the list update; monotonic
+	value atomic.Uint64 // the watermark: stored under wl.mu, before any stripe sweep; monotonic
 
-	wl    waitlist
-	list  listIndex
+	wl waitlist
+	// idx is the striped level index (stripes.go): waiter registration
+	// happens on the level's stripe, not under wl.mu, so Check
+	// registrations no longer queue behind combining folds. A fold
+	// stores the combined value first and sweeps the stripes after
+	// releasing wl.mu — the fold-then-read ordering the stripe Dekker
+	// handshake requires.
+	idx   stripedList
 	slots fcSlots
+
+	// spin holds the publisher spin budgets packed as
+	// (active<<16|yields)+1, so the zero value still means "default"
+	// while explicit zero budgets stay expressible — the same sentinel
+	// encoding as SpinCounter.SetSpins. Tuned by SetSpin.
+	spin atomic.Int64
 
 	// combinedIncs counts increments folded from the slots by a lock
 	// holder (Stats.FastPathIncrements — the increments that skipped the
@@ -53,6 +65,36 @@ type FCCounter struct {
 // touch the combining machinery.
 func NewFC() *FCCounter { return new(FCCounter) }
 
+// SetSpin sets the publisher spin budgets: active busy reloads, then
+// yields Gosched rounds, before a publisher parks on the engine mutex
+// (see Increment). Negative values restore the defaults. Safe to call
+// concurrently with Increment on other goroutines: the budgets are
+// stored atomically and each publisher snapshots them once per claim,
+// so a mid-flight tune affects only subsequent increments. Mirrors
+// SpinCounter.SetSpins.
+func (c *FCCounter) SetSpin(active, yields int) {
+	if active < 0 || yields < 0 {
+		c.spin.Store(0) // default sentinel
+		return
+	}
+	if active > 1<<30 {
+		active = 1 << 30
+	}
+	if yields > 1<<15 {
+		yields = 1 << 15
+	}
+	c.spin.Store((int64(active)<<16 | int64(yields)) + 1)
+}
+
+// spinBudget snapshots the current (active, yields) budgets.
+func (c *FCCounter) spinBudget() (active, yields int) {
+	if v := c.spin.Load(); v > 0 {
+		v--
+		return int(v >> 16), int(v & (1<<16 - 1))
+	}
+	return fcSpinActive, fcSpinYields
+}
+
 // Increment implements Interface. Uncontended it is exactly the locked
 // list path (TryLock in place of Lock); contended it publishes the delta
 // and briefly spins until a combiner folds it or the caller wins the
@@ -62,7 +104,7 @@ func (c *FCCounter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	if c.wl.mu.TryLock() {
+	if c.wl.tryLock() {
 		c.addLocked(amount)
 		c.wl.emit(EventIncrement, amount)
 		return
@@ -71,22 +113,23 @@ func (c *FCCounter) Increment(amount uint64) {
 	if s == nil {
 		// Slots exhausted (or amount too large to pack, or first-ever
 		// contention before the array exists): the plain blocking path.
-		c.wl.mu.Lock()
+		c.wl.lock()
 		c.ensureSlotsLocked()
 		c.addLocked(amount)
 		c.wl.emit(EventIncrement, amount)
 		return
 	}
+	active, yields := c.spinBudget()
 	for i := 0; ; i++ {
 		if s.v.Load() != token {
 			// A combiner freed our exclusive claim — and it does that only
-			// AFTER storing the folded value and marking the satisfied
-			// levels (the two-phase fold), so from here Value() reflects
-			// our delta and the wake-ups cover any level it satisfied.
+			// AFTER storing the folded value (the two-phase fold), so from
+			// here Value() reflects our delta; the combiner's stripe sweep
+			// covers any level it satisfied.
 			c.wl.emit(EventIncrement, amount)
 			return
 		}
-		if c.wl.mu.TryLock() {
+		if c.wl.tryLock() {
 			// We became the combiner: fold everything still pending —
 			// our own delta included, unless a previous combiner already
 			// took it (then the fold is the rivals' work, which is the
@@ -96,10 +139,10 @@ func (c *FCCounter) Increment(amount uint64) {
 			return
 		}
 		switch {
-		case i < fcSpinActive:
+		case i < active:
 			// Busy reload: on a multiprocessor the combiner is running
 			// right now and the fold lands within a few loads.
-		case i < fcSpinActive+fcSpinYields:
+		case i < active+yields:
 			// Give the combiner the processor — it may share ours.
 			runtime.Gosched()
 		default:
@@ -109,7 +152,7 @@ func (c *FCCounter) Increment(amount uint64) {
 			// the mutex lets the scheduler serialize the storm, and when
 			// the lock finally arrives addLocked(0) folds our own slot
 			// if no combiner beat us to it.
-			c.wl.mu.Lock()
+			c.wl.lock()
 			c.addLocked(0)
 			c.wl.emit(EventIncrement, amount)
 			return
@@ -121,9 +164,12 @@ const (
 	// fcSpinActive bounds the busy reloads a publisher spends waiting for
 	// a running combiner; fcSpinYields bounds the Gosched rounds after
 	// that. Past both, the publisher parks on the engine mutex — see the
-	// comment at the fallback. The numbers are small on purpose: a
-	// running combiner folds within a few loads, and anything slower
-	// means the combiner lost its processor, which spinning cannot fix.
+	// comment at the fallback. These are the SetSpin defaults, re-tuned
+	// against the PR 8 -procs 1,2,4 sweep (EXPERIMENTS.md E23 notes):
+	// small on purpose — a running combiner folds within a few loads,
+	// and anything slower means the combiner lost its processor, which
+	// spinning cannot fix; on a single-proc host the active phase never
+	// helps, so the yield budget does the work there.
 	fcSpinActive = 32
 	fcSpinYields = 4
 )
@@ -140,29 +186,33 @@ func (c *FCCounter) ensureSlotsLocked() {
 	if c.slots.slots.Load() == nil {
 		size := stripeCount()
 		c.fastChecks.ensure(size)
+		c.idx.ensure(size)
 		c.slots.ensureLocked(size)
 	}
 }
 
 // addLocked is the combiner: with wl.mu held it folds every published
-// delta plus the caller's own amount into the value, marks the newly
-// satisfied levels draining, frees the collected slots, releases the
-// mutex, and wakes the satisfied levels. The fold is two-phase (see
-// fcSlots): the slots are freed only after the value store and
-// satisfyLocked, so a publisher that observes its slot freed — its
-// signal to return from Increment — is guaranteed Value() and the
-// waiter states already reflect its delta. The overflow check releases
-// the mutex before panicking, like ShardedCounter, so a host that
-// recovers the panic is left with a usable counter — and it fires
-// before the slots are freed, so collected rival deltas stay published
-// rather than being discarded while their publishers report success.
+// delta plus the caller's own amount into the value, frees the
+// collected slots, releases the mutex, and then sweeps the stripes and
+// wakes whatever the combined total satisfied. The fold is two-phase
+// (see fcSlots): the slots are freed only after the value store, so a
+// publisher that observes its slot freed — its signal to return from
+// Increment — is guaranteed Value() already reflects its delta; the
+// satisfied waiters are covered by the stripe sweep, whose
+// store-watermark-then-load-minima ordering (the value store happens
+// under the mutex, the minima loads after) is the increment half of the
+// stripes.go handshake. The overflow check releases the mutex before
+// panicking, like ShardedCounter, so a host that recovers the panic is
+// left with a usable counter — and it fires before the slots are freed,
+// so collected rival deltas stay published rather than being discarded
+// while their publishers report success.
 func (c *FCCounter) addLocked(amount uint64) {
 	c.ensureSlotsLocked()
 	folded, count := c.slots.collectLocked()
 	v := c.value.Load()
 	nv := v + amount
 	if nv < v || nv+folded < nv {
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		panic("core: counter value overflow")
 	}
 	nv += folded
@@ -176,28 +226,23 @@ func (c *FCCounter) addLocked(amount uint64) {
 		c.wl.stats.increments += count
 		c.combinedIncs += count
 		c.combines++
-	}
-	head, _ := c.list.popSatisfied(nv)
-	for n := head; n != nil; n = n.next {
-		c.wl.satisfyLocked(n)
-	}
-	if count > 0 {
 		c.slots.releaseLocked()
 	}
-	c.wl.mu.Unlock()
-	if head != nil {
-		c.wl.wakeBatch(head)
+	c.wl.unlock()
+	if nv != v {
+		c.wake(c.idx.collect(nv))
 	}
 }
 
 // foldLocked drains pending deltas on a non-increment lock holder's way
 // through the critical section — "the current lock holder folds before
-// releasing" — and returns the satisfied chain for the caller to wake
-// AFTER it releases wl.mu. Called with wl.mu held; keeps it held.
-func (c *FCCounter) foldLocked() *waitNode {
+// releasing" — and reports whether the value moved. Called with wl.mu
+// held; keeps it held. The caller must sweep the stripes (idx.collect)
+// and wake AFTER it releases wl.mu when the value moved.
+func (c *FCCounter) foldLocked() bool {
 	folded, count := c.slots.collectLocked()
 	if count == 0 {
-		return nil
+		return false
 	}
 	v := c.value.Load()
 	nv := v + folded
@@ -205,51 +250,63 @@ func (c *FCCounter) foldLocked() *waitNode {
 		// Panic with the collected slots still claimed (releaseLocked not
 		// reached): the publishers' deltas are neither lost nor falsely
 		// acknowledged — see releaseLocked.
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		panic("core: counter value overflow")
 	}
 	c.value.Store(nv)
 	c.wl.stats.increments += count
 	c.combinedIncs += count
 	c.combines++
-	head, _ := c.list.popSatisfied(nv)
-	for n := head; n != nil; n = n.next {
-		c.wl.satisfyLocked(n)
-	}
 	c.slots.releaseLocked()
-	return head
+	return true
 }
 
-// wake releases a fold's satisfied chain; a no-op for the common nil.
+// wake releases a sweep's satisfied chain; a no-op for the common nil.
 func (c *FCCounter) wake(head *waitNode) {
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
 }
 
+// foldPending opportunistically combines pending deltas — the helping
+// fold Check performs on its way to registering. TryLock, not Lock: if
+// the mutex is taken, a combiner is (or will be) folding already, and
+// queueing behind it would put registration back on the engine mutex.
+func (c *FCCounter) foldPending() {
+	if c.slots.slots.Load() == nil || !c.wl.tryLock() {
+		return
+	}
+	moved := c.foldLocked()
+	nv := c.value.Load()
+	c.wl.unlock()
+	if moved {
+		c.wake(c.idx.collect(nv))
+	}
+}
+
 // Check implements Interface. The fast path is AtomicCounter's: a stale
 // read can only under-estimate the monotone value, so a satisfied read
-// is safe without the lock. The locked slow path folds pending rival
-// deltas first — they may already satisfy the level, and a lock holder
-// that combines is what keeps publishers' spins short.
+// is safe without the lock. The slow path folds pending rival deltas
+// first (fold-then-read: the re-load below happens after any fold we
+// performed) — they may already satisfy the level, and a lock holder
+// that combines is what keeps publishers' spins short — then registers
+// on the level's stripe, never queueing on the engine mutex.
 func (c *FCCounter) Check(level uint64) {
 	if level <= c.value.Load() {
 		c.fastChecks.Add(1)
 		return
 	}
-	c.wl.mu.Lock()
-	head := c.foldLocked()
+	c.foldPending()
 	if level <= c.value.Load() {
-		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
-		c.wake(head)
+		c.fastChecks.Add(1)
 		return
 	}
-	n := c.wl.join(&c.list, level)
-	c.wl.mu.Unlock()
-	c.wake(head)
+	n, done := c.idx.register(&c.wl, level, &c.value, true)
+	if done {
+		return
+	}
 	c.wl.wait(n)
-	c.wl.drain(&c.list, n)
+	c.wl.drain(nil, n)
 }
 
 // CheckContext implements Interface. The satisfied fast path is checked
@@ -266,24 +323,26 @@ func (c *FCCounter) CheckContext(ctx context.Context, level uint64) error {
 		c.Check(level)
 		return nil
 	}
-	c.wl.mu.Lock()
-	head := c.foldLocked()
+	c.foldPending()
 	if level <= c.value.Load() {
-		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
-		c.wake(head)
+		c.fastChecks.Add(1)
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
-		c.wl.mu.Unlock()
-		c.wake(head)
+		// Satisfied beats cancelled: one last watermark look before
+		// reporting the cancellation.
+		if level <= c.value.Load() {
+			c.fastChecks.Add(1)
+			return nil
+		}
 		return err
 	}
-	n := c.wl.join(&c.list, level)
-	c.wl.mu.Unlock()
-	c.wake(head)
+	n, ok := c.idx.register(&c.wl, level, &c.value, true)
+	if ok {
+		return nil
+	}
 	err := c.wl.waitCtx(ctx, n)
-	c.wl.drain(&c.list, n)
+	c.wl.drain(nil, n)
 	return err
 }
 
@@ -292,9 +351,9 @@ func (c *FCCounter) CheckContext(ctx context.Context, level uint64) error {
 // belongs to an Increment still in flight); only the value resets.
 // Stats are cumulative and survive the reset.
 func (c *FCCounter) Reset() {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	if c.wl.busyLocked() || c.list.head != nil {
+	c.wl.lock()
+	defer c.wl.unlock()
+	if c.wl.busyLocked() || c.idx.busy() {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.value.Store(0)
@@ -315,14 +374,21 @@ func (c *FCCounter) Stats() Stats {
 	// argument behind the Broadcasts <= SatisfiedLevels invariant.
 	b := c.wl.stats.broadcasts.Load()
 	cl := c.wl.stats.channelCloses.Load()
-	c.wl.mu.Lock()
+	c.wl.lock()
 	s := c.wl.lockedStats()
 	s.FastPathIncrements = c.combinedIncs
 	s.Flushes = c.combines
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	s.Broadcasts, s.ChannelCloses = b, cl
+	c.idx.foldStats(&s)
 	s.ImmediateChecks += c.fastChecks.Load()
 	return s
+}
+
+// LockAcquires implements LockCounter: engine-mutex plus stripe-mutex
+// acquisitions recorded while SetLockCounting was enabled.
+func (c *FCCounter) LockAcquires() uint64 {
+	return c.wl.lockAcquires.Load() + c.idx.locks.Load()
 }
 
 // SetProbe implements ProbeSetter. Every Increment emits its own
@@ -336,3 +402,4 @@ func (c *FCCounter) SetProbe(f func(Event)) {
 var _ Interface = (*FCCounter)(nil)
 var _ StatsProvider = (*FCCounter)(nil)
 var _ ProbeSetter = (*FCCounter)(nil)
+var _ LockCounter = (*FCCounter)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -312,5 +313,64 @@ func TestShardedStatsCellsSizedWithShards(t *testing.T) {
 	}
 	if len(*shards) != 4 {
 		t.Fatalf("stripe count = %d, want the captured 4, not the current GOMAXPROCS", len(*shards))
+	}
+}
+
+// TestFCSetSpinEncoding pins SetSpin's packed encoding, mirroring
+// TestSpinSetSpinsEncoding: the zero value means the tuned defaults, any
+// negative argument restores them, explicit zeros are honored (park
+// immediately), and out-of-range budgets are capped rather than allowed
+// to corrupt the packing.
+func TestFCSetSpinEncoding(t *testing.T) {
+	c := NewFC()
+	if a, y := c.spinBudget(); a != fcSpinActive || y != fcSpinYields {
+		t.Fatalf("zero-value budget = (%d,%d), want defaults (%d,%d)", a, y, fcSpinActive, fcSpinYields)
+	}
+	c.SetSpin(0, 0)
+	if a, y := c.spinBudget(); a != 0 || y != 0 {
+		t.Fatalf("budget after SetSpin(0,0) = (%d,%d), want (0,0)", a, y)
+	}
+	c.SetSpin(-1, 5)
+	if a, y := c.spinBudget(); a != fcSpinActive || y != fcSpinYields {
+		t.Fatalf("budget after SetSpin(-1,5) = (%d,%d), want defaults (%d,%d)", a, y, fcSpinActive, fcSpinYields)
+	}
+	c.SetSpin(7, 3)
+	if a, y := c.spinBudget(); a != 7 || y != 3 {
+		t.Fatalf("budget after SetSpin(7,3) = (%d,%d), want (7,3)", a, y)
+	}
+	c.SetSpin(1<<31, 1<<20)
+	if a, y := c.spinBudget(); a != 1<<30 || y != 1<<15 {
+		t.Fatalf("budget after oversized SetSpin = (%d,%d), want caps (%d,%d)", a, y, 1<<30, 1<<15)
+	}
+	// A zero budget must still be correct, just eager to park.
+	c.SetSpin(0, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Increment(1) }()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8 {
+		t.Fatalf("value with zero spin budget = %d, want 8", got)
+	}
+}
+
+// BenchmarkFCSpinTune is the sweep behind the fcSpinActive/fcSpinYields
+// defaults: contended increments under a range of publisher spin
+// budgets, meant to be run with -cpu 1,2,4 (the E23 notes record the
+// numbers). It is not part of the recorded BENCH suites.
+func BenchmarkFCSpinTune(b *testing.B) {
+	for _, cfg := range []struct{ active, yields int }{
+		{0, 0}, {8, 2}, {32, 4}, {128, 8}, {512, 16},
+	} {
+		b.Run(fmt.Sprintf("active=%d,yields=%d", cfg.active, cfg.yields), func(b *testing.B) {
+			c := NewFC()
+			c.SetSpin(cfg.active, cfg.yields)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.Increment(1)
+				}
+			})
+		})
 	}
 }

@@ -43,3 +43,45 @@ func TestStressRandomizedOpsGOMAXPROCS4(t *testing.T) {
 	withGOMAXPROCS(t, 4)
 	runStressRandomizedOps(t)
 }
+
+// TestNoLostWakeupsGOMAXPROCS4 reruns the registry-wide lost-wake
+// conformance check with four Ps. With the striped level index this is
+// the run where registrations and the increment-side stripe sweeps truly
+// overlap — at one P the Dekker handshake in stripes.go is never
+// actually raced.
+func TestNoLostWakeupsGOMAXPROCS4(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	runNoLostWakeups(t)
+}
+
+// TestCancelStormGOMAXPROCS4 reruns the cancellation storm with four Ps,
+// interleaving stripe-side drains (cancelled waiters retiring through
+// waitNode.home) with live registrations and wakes.
+func TestCancelStormGOMAXPROCS4(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	runCancelStormKeepsCounterCorrect(t)
+}
+
+// TestStatsConformanceGOMAXPROCS4 reruns the Stats schema conformance
+// suite with four Ps: the immediate-check tallies now live partly in
+// lock-free striped cells, and exactness must survive real parallelism.
+func TestStatsConformanceGOMAXPROCS4(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	runStatsConformance(t)
+}
+
+// TestStatsConsistentDuringWakeStormGOMAXPROCS4 reruns the snapshot
+// hammer — including its satisfied-check exactness assertion — with
+// four Ps.
+func TestStatsConsistentDuringWakeStormGOMAXPROCS4(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	runStatsConsistentDuringWakeStorm(t)
+}
+
+// TestCheckIncrementRaceAcrossStripesGOMAXPROCS4 reruns the cross-stripe
+// lost-wake regression with four Ps, the configuration where the
+// register-vs-collect race actually spans cores.
+func TestCheckIncrementRaceAcrossStripesGOMAXPROCS4(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	runCheckIncrementRaceAcrossStripes(t)
+}

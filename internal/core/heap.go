@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 )
 
 // HeapCounter is a monotonic counter whose waiter nodes are organized as a
@@ -13,11 +14,19 @@ import (
 // waitlist engine, so popped levels are woken after the engine mutex is
 // released.
 //
+// The value doubles as the watermark fast path shared by every impl:
+// Check/CheckContext on an already-satisfied level return after one
+// atomic load, no mutex (safe because the value is monotonic — a stale
+// read only under-estimates).
+//
 // The zero value is a valid counter with value zero.
 type HeapCounter struct {
 	wl    waitlist
-	value uint64
+	value atomic.Uint64 // mutated only under wl.mu; read lock-free as the watermark
 	index heapIndex
+	// fastChecks counts satisfied lock-free checks; folded into
+	// Stats.ImmediateChecks alongside the engine's locked tally.
+	fastChecks stripedUint64
 }
 
 // heapIndex organizes live waitNodes as a min-heap by level plus a map
@@ -127,13 +136,17 @@ func (c *HeapCounter) Increment(amount uint64) {
 	if amount == 0 {
 		return
 	}
-	c.wl.mu.Lock()
-	c.value = checkedAdd(c.value, amount)
+	c.wl.lock()
+	v := checkedAdd(c.value.Load(), amount)
+	// Publish the watermark before any wake so a fast-path reader that
+	// raced past the mutex observes the new value no later than woken
+	// waiters do.
+	c.value.Store(v)
 	c.wl.stats.increments++
 	// Chain the popped nodes through their (otherwise unused) next
 	// pointers, ascending, so the out-of-lock wake needs no allocation.
 	var head, tail *waitNode
-	for len(c.index.heap) > 0 && c.index.heap[0].level <= c.value {
+	for len(c.index.heap) > 0 && c.index.heap[0].level <= v {
 		n := c.index.popMin()
 		delete(c.index.byLevel, n.level)
 		c.wl.satisfyLocked(n)
@@ -144,23 +157,28 @@ func (c *HeapCounter) Increment(amount uint64) {
 		}
 		tail = n
 	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
 	}
 }
 
-// Check implements Interface.
+// Check implements Interface. The satisfied case is one atomic
+// watermark load — no mutex.
 func (c *HeapCounter) Check(level uint64) {
-	c.wl.mu.Lock()
-	if level <= c.value {
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return
+	}
+	c.wl.lock()
+	if level <= c.value.Load() {
 		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		return
 	}
 	n := c.wl.join(&c.index, level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	c.wl.wait(n)
 	c.wl.drain(&c.index, n)
 }
@@ -176,18 +194,24 @@ func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
 		c.Check(level)
 		return nil
 	}
-	c.wl.mu.Lock()
-	if level <= c.value {
+	// Satisfied beats cancelled: the watermark is consulted first, and
+	// the satisfied case takes no mutex.
+	if level <= c.value.Load() {
+		c.fastChecks.Add(1)
+		return nil
+	}
+	c.wl.lock()
+	if level <= c.value.Load() {
 		c.wl.stats.immediateChecks++
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		return err
 	}
 	n := c.wl.join(&c.index, level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	err := c.wl.waitCtx(ctx, n)
 	c.wl.drain(&c.index, n)
 	return err
@@ -196,32 +220,40 @@ func (c *HeapCounter) CheckContext(ctx context.Context, level uint64) error {
 // Reset implements Interface. Stats are cumulative and survive the
 // reset.
 func (c *HeapCounter) Reset() {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
+	c.wl.lock()
+	defer c.wl.unlock()
 	if c.wl.busyLocked() || len(c.index.heap) != 0 {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
-	c.value = 0
+	c.value.Store(0)
 }
 
-// Value implements Interface. For inspection and testing only.
+// Value implements Interface. Lock-free: the watermark is the value.
 func (c *HeapCounter) Value() uint64 {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	return c.value
+	return c.value.Load()
 }
 
 // PeakLevels reports the maximum number of distinct levels simultaneously
 // waited on over the counter's lifetime (Stats().PeakLevels, kept as a
 // named accessor for the E10 experiment).
 func (c *HeapCounter) PeakLevels() int {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
+	c.wl.lock()
+	defer c.wl.unlock()
 	return c.wl.stats.peakLevels
 }
 
-// Stats implements StatsProvider with the engine's collector.
-func (c *HeapCounter) Stats() Stats { return c.wl.readStats() }
+// Stats implements StatsProvider with the engine's collector, folding in
+// the lock-free fast-path checks.
+func (c *HeapCounter) Stats() Stats {
+	s := c.wl.readStats()
+	s.ImmediateChecks += c.fastChecks.Load()
+	return s
+}
+
+// LockAcquires implements LockCounter.
+func (c *HeapCounter) LockAcquires() uint64 {
+	return c.wl.lockAcquires.Load()
+}
 
 // SetProbe implements ProbeSetter.
 func (c *HeapCounter) SetProbe(f func(Event)) { c.wl.SetProbe(f) }
@@ -229,3 +261,4 @@ func (c *HeapCounter) SetProbe(f func(Event)) { c.wl.SetProbe(f) }
 var _ Interface = (*HeapCounter)(nil)
 var _ StatsProvider = (*HeapCounter)(nil)
 var _ ProbeSetter = (*HeapCounter)(nil)
+var _ LockCounter = (*HeapCounter)(nil)

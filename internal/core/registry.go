@@ -83,4 +83,15 @@ var (
 	_ Sentineler = (*SpinCounter)(nil)
 	_ Sentineler = (*ShardedCounter)(nil)
 	_ Sentineler = (*FCCounter)(nil)
+
+	// Every registry implementation reports mutex acquisitions for the
+	// E25 zero-lock assertion (see LockCounter in stats.go).
+	_ LockCounter = (*Counter)(nil)
+	_ LockCounter = (*HeapCounter)(nil)
+	_ LockCounter = (*ChanCounter)(nil)
+	_ LockCounter = (*BroadcastCounter)(nil)
+	_ LockCounter = (*AtomicCounter)(nil)
+	_ LockCounter = (*SpinCounter)(nil)
+	_ LockCounter = (*ShardedCounter)(nil)
+	_ LockCounter = (*FCCounter)(nil)
 )

@@ -139,28 +139,29 @@ func (w *waitlist) armSentinel(idx levelIndex, n *waitNode, fn func()) (func() b
 // Sentinel implements Sentineler on the reference design: the join is
 // exactly Check's slow-path registration, minus the suspend.
 func (c *Counter) Sentinel(level uint64, fn func()) (func() bool, bool) {
-	c.wl.mu.Lock()
-	if level <= c.value {
-		c.wl.mu.Unlock()
+	c.wl.lock()
+	if level <= c.value.Load() {
+		c.wl.unlock()
 		return nil, false
 	}
 	n := c.wl.joinSentinel(&c.list, level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	return c.wl.armSentinel(&c.list, n, fn)
 }
 
-// Sentinel implements Sentineler. The value is re-read under the mutex
-// like Check's slow path; there is no lock-free fast path because a
-// not-armed result must be accurate at registration time.
+// Sentinel implements Sentineler. The registration is Check's striped
+// slow path minus the suspend: the value is re-read under the stripe
+// mutex (register), so a not-armed result is accurate at registration
+// time, and the engine mutex is never touched.
 func (c *AtomicCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
-	c.wl.mu.Lock()
 	if level <= c.value.Load() {
-		c.wl.mu.Unlock()
 		return nil, false
 	}
-	n := c.wl.joinSentinel(&c.list, level)
-	c.wl.mu.Unlock()
-	return c.wl.armSentinel(&c.list, n, fn)
+	n, done := c.idx.register(&c.wl, level, &c.value, false)
+	if done {
+		return nil, false
+	}
+	return c.wl.armSentinel(nil, n, fn)
 }
 
 // Sentinel implements Sentineler by delegating to the underlying atomic
@@ -171,13 +172,13 @@ func (c *SpinCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
 
 // Sentinel implements Sentineler on the heap index.
 func (c *HeapCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
-	c.wl.mu.Lock()
-	if level <= c.value {
-		c.wl.mu.Unlock()
+	c.wl.lock()
+	if level <= c.value.Load() {
+		c.wl.unlock()
 		return nil, false
 	}
 	n := c.wl.joinSentinel(&c.index, level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	return c.wl.armSentinel(&c.index, n, fn)
 }
 
@@ -189,13 +190,13 @@ func (c *HeapCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
 // at the predicate tier exactly the thundering re-check this baseline
 // exists to measure.
 func (c *BroadcastCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
-	c.wl.mu.Lock()
-	if level <= c.value {
-		c.wl.mu.Unlock()
+	c.wl.lock()
+	if level <= c.value.Load() {
+		c.wl.unlock()
 		return nil, false
 	}
 	n := c.wl.joinSentinel(c, level)
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	return c.wl.armSentinel(c, n, fn)
 }
 
@@ -207,17 +208,21 @@ func (c *BroadcastCounter) Sentinel(level uint64, fn func()) (func() bool, bool)
 // gate before kicking fn so a re-arm from fn observes gate state
 // consistent with its own registration.
 func (c *ShardedCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
-	c.wl.mu.Lock()
+	c.wl.lock()
 	c.gate.Add(1)
 	c.flushLocked()
-	if level <= c.published.Load() {
+	pub := c.published.Load()
+	c.wl.unlock()
+	if level <= pub {
 		c.gate.Add(-1)
-		c.wl.mu.Unlock()
 		return nil, false
 	}
-	n := c.wl.joinSentinel(&c.list, level)
-	c.wl.mu.Unlock()
-	cancel, armed := c.wl.armSentinel(&c.list, n, func() {
+	n, done := c.idx.register(&c.wl, level, &c.published, false)
+	if done {
+		c.gate.Add(-1)
+		return nil, false
+	}
+	cancel, armed := c.wl.armSentinel(nil, n, func() {
 		c.gate.Add(-1)
 		fn()
 	})
@@ -235,21 +240,23 @@ func (c *ShardedCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
 }
 
 // Sentinel implements Sentineler on the flat-combining design. Like
-// Check's slow path it folds pending rival deltas first — they may
-// already satisfy the level — and wakes the fold's satisfied chain
-// after releasing the mutex, before attaching the hook.
+// Check's slow path it opportunistically folds pending rival deltas
+// first — they may already satisfy the level — then registers on the
+// level's stripe; the stripe re-read keeps the not-armed result
+// accurate at registration time.
 func (c *FCCounter) Sentinel(level uint64, fn func()) (func() bool, bool) {
-	c.wl.mu.Lock()
-	head := c.foldLocked()
 	if level <= c.value.Load() {
-		c.wl.mu.Unlock()
-		c.wake(head)
 		return nil, false
 	}
-	n := c.wl.joinSentinel(&c.list, level)
-	c.wl.mu.Unlock()
-	c.wake(head)
-	return c.wl.armSentinel(&c.list, n, fn)
+	c.foldPending()
+	if level <= c.value.Load() {
+		return nil, false
+	}
+	n, done := c.idx.register(&c.wl, level, &c.value, false)
+	if done {
+		return nil, false
+	}
+	return c.wl.armSentinel(nil, n, fn)
 }
 
 // Sentinel implements Sentineler on the engineless chan design: the

@@ -75,8 +75,13 @@ type ShardedCounter struct {
 
 	shards atomic.Pointer[[]shardCell] // lazily allocated, power-of-two length
 
-	wl   waitlist
-	list listIndex
+	wl waitlist
+	// idx is the striped level index (stripes.go): waiter registration
+	// happens on the level's stripe, not under wl.mu, so concurrent
+	// Check registrations at different levels never contend. The engine
+	// mutex keeps the write side — gate raising, residue flushes, the
+	// published-value store.
+	idx stripedList
 
 	// fastIncs and flushes extend the engine's collector with the
 	// sharded-specific schema fields; both change only at fold points,
@@ -136,14 +141,15 @@ func (c *ShardedCounter) cells() []shardCell {
 	if p := c.shards.Load(); p != nil {
 		return *p
 	}
-	c.wl.mu.Lock()
+	c.wl.lock()
 	if c.shards.Load() == nil {
 		size := stripeCount()
 		c.fastChecks.ensure(size)
+		c.idx.ensure(size)
 		s := make([]shardCell, size)
 		c.shards.Store(&s)
 	}
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	return *c.shards.Load()
 }
 
@@ -177,11 +183,11 @@ func (c *ShardedCounter) Increment(amount uint64) {
 			// and we fold and wake under the lock ourselves. No increment
 			// can land in a shard and leave a satisfied waiter sleeping.
 			if c.gate.Load() != 0 {
-				c.wl.mu.Lock()
+				c.wl.lock()
 				c.flushLocked()
-				head := c.collectSatisfiedLocked()
-				c.wl.mu.Unlock()
-				if head != nil {
+				v := c.published.Load()
+				c.wl.unlock()
+				if head := c.idx.collect(v); head != nil {
 					c.wl.wakeBatch(head)
 				}
 			}
@@ -189,20 +195,25 @@ func (c *ShardedCounter) Increment(amount uint64) {
 			return
 		}
 	}
-	c.wl.mu.Lock()
+	c.wl.lock()
 	c.flushLocked()
 	v := c.published.Load()
 	if v+amount < v {
 		// Release the engine before the programming-error panic: a host
 		// that recovers it (internal/server turns overflow into a wire
 		// error) must be left with a usable counter, not a held mutex.
-		c.wl.mu.Unlock()
+		c.wl.unlock()
 		panic("core: counter value overflow")
 	}
-	c.storePublishedLocked(v + amount)
+	v += amount
+	// The published store (inside storePublishedLocked) is the watermark
+	// half of the stripe handshake: it precedes the stripe-minimum loads
+	// in collect, so a registration the sweep misses is guaranteed to see
+	// the new value on its own re-load.
+	c.storePublishedLocked(v)
 	c.wl.stats.increments++
-	head := c.collectSatisfiedLocked()
-	c.wl.mu.Unlock()
+	c.wl.unlock()
+	head := c.idx.collect(v)
 	c.wl.emit(EventIncrement, amount)
 	if head != nil {
 		c.wl.wakeBatch(head)
@@ -255,17 +266,6 @@ func (c *ShardedCounter) flushLocked() {
 	c.flushSeq.Add(1)
 }
 
-// collectSatisfiedLocked unlinks every list node the published value now
-// covers and marks it draining; the caller wakes the returned chain
-// after releasing wl.mu. Called with wl.mu held.
-func (c *ShardedCounter) collectSatisfiedLocked() *waitNode {
-	head, _ := c.list.popSatisfied(c.published.Load())
-	for n := head; n != nil; n = n.next {
-		c.wl.satisfyLocked(n)
-	}
-	return head
-}
-
 // sum returns published + shard residues, retrying across flushes. A
 // completed sum is at least the true value at its start and at most the
 // true value at its end, so values returned to any single observer are
@@ -299,23 +299,29 @@ func (c *ShardedCounter) Check(level uint64) {
 		c.fastChecks.Add(1)
 		return
 	}
-	c.wl.mu.Lock()
+	c.wl.lock()
 	c.gate.Add(1)
 	// From here every Increment either lands under this mutex or — if it
 	// raced past the gate into a shard — re-flushes under the mutex
-	// itself, so the flush below plus the engine's wake protocol cannot
-	// miss a satisfying update.
+	// itself, so the flush below plus the stripe handshake cannot miss a
+	// satisfying update: any residue already parked in a cell is folded
+	// here, and any later flush's published store precedes its stripe
+	// sweep, which the registration below arms itself against.
 	c.flushLocked()
-	if level <= c.published.Load() {
-		c.wl.stats.immediateChecks++
+	pub := c.published.Load()
+	c.wl.unlock()
+	if level <= pub {
+		c.fastChecks.Add(1)
 		c.gate.Add(-1)
-		c.wl.mu.Unlock()
 		return
 	}
-	n := c.wl.join(&c.list, level)
-	c.wl.mu.Unlock()
+	n, done := c.idx.register(&c.wl, level, &c.published, true)
+	if done {
+		c.gate.Add(-1)
+		return
+	}
 	c.wl.wait(n)
-	c.wl.drain(&c.list, n)
+	c.wl.drain(nil, n)
 	c.gate.Add(-1)
 }
 
@@ -333,24 +339,34 @@ func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 		c.Check(level)
 		return nil
 	}
-	c.wl.mu.Lock()
+	c.wl.lock()
 	c.gate.Add(1)
 	c.flushLocked()
-	if level <= c.published.Load() {
-		c.wl.stats.immediateChecks++
+	pub := c.published.Load()
+	c.wl.unlock()
+	if level <= pub {
+		c.fastChecks.Add(1)
 		c.gate.Add(-1)
-		c.wl.mu.Unlock()
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
+		// Satisfied beats cancelled: one last watermark look before
+		// reporting the cancellation.
+		if level <= c.published.Load() {
+			c.fastChecks.Add(1)
+			c.gate.Add(-1)
+			return nil
+		}
 		c.gate.Add(-1)
-		c.wl.mu.Unlock()
 		return err
 	}
-	n := c.wl.join(&c.list, level)
-	c.wl.mu.Unlock()
+	n, ok := c.idx.register(&c.wl, level, &c.published, true)
+	if ok {
+		c.gate.Add(-1)
+		return nil
+	}
 	err := c.wl.waitCtx(ctx, n)
-	c.wl.drain(&c.list, n)
+	c.wl.drain(nil, n)
 	c.gate.Add(-1)
 	return err
 }
@@ -359,9 +375,9 @@ func (c *ShardedCounter) CheckContext(ctx context.Context, level uint64) error {
 // reset: cell counts are folded into the fast-path tally before the
 // residues are discarded.
 func (c *ShardedCounter) Reset() {
-	c.wl.mu.Lock()
-	defer c.wl.mu.Unlock()
-	if c.wl.busyLocked() || c.list.head != nil {
+	c.wl.lock()
+	defer c.wl.unlock()
+	if c.wl.busyLocked() || c.idx.busy() {
 		panic("core: Reset called with goroutines waiting on the counter")
 	}
 	c.flushSeq.Add(1)
@@ -387,7 +403,7 @@ func (c *ShardedCounter) Stats() Stats {
 	// argument behind the Broadcasts <= SatisfiedLevels invariant.
 	b := c.wl.stats.broadcasts.Load()
 	cl := c.wl.stats.channelCloses.Load()
-	c.wl.mu.Lock()
+	c.wl.lock()
 	s := c.wl.lockedStats()
 	fp := c.fastIncs
 	if p := c.shards.Load(); p != nil {
@@ -397,11 +413,18 @@ func (c *ShardedCounter) Stats() Stats {
 	}
 	s.FastPathIncrements = fp
 	s.Flushes = c.flushes
-	c.wl.mu.Unlock()
+	c.wl.unlock()
 	s.Broadcasts, s.ChannelCloses = b, cl
+	c.idx.foldStats(&s)
 	s.Increments += fp
 	s.ImmediateChecks += c.fastChecks.Load()
 	return s
+}
+
+// LockAcquires implements LockCounter: engine-mutex plus stripe-mutex
+// acquisitions recorded while SetLockCounting was enabled.
+func (c *ShardedCounter) LockAcquires() uint64 {
+	return c.wl.lockAcquires.Load() + c.idx.locks.Load()
 }
 
 // SetProbe implements ProbeSetter. Fast-path increments emit
@@ -414,3 +437,4 @@ func (c *ShardedCounter) SetProbe(f func(Event)) {
 var _ Interface = (*ShardedCounter)(nil)
 var _ StatsProvider = (*ShardedCounter)(nil)
 var _ ProbeSetter = (*ShardedCounter)(nil)
+var _ LockCounter = (*ShardedCounter)(nil)

@@ -21,7 +21,7 @@ func NewSim() *Sim { return new(Sim) }
 func (s *Sim) Check(level uint64) bool {
 	s.c.wl.mu.Lock()
 	defer s.c.wl.mu.Unlock()
-	if level <= s.c.value {
+	if level <= s.c.value.Load() {
 		s.c.wl.stats.immediateChecks++
 		return false
 	}
@@ -39,12 +39,12 @@ func (s *Sim) Check(level uint64) bool {
 func (s *Sim) Increment(amount uint64) {
 	s.c.wl.mu.Lock()
 	defer s.c.wl.mu.Unlock()
-	s.c.value = checkedAdd(s.c.value, amount)
+	s.c.value.Store(checkedAdd(s.c.value.Load(), amount))
 	s.c.wl.stats.increments++
-	head, _ := s.c.list.popSatisfied(s.c.value)
+	head, _ := s.c.list.popSatisfied(s.c.value.Load())
 	for n := head; n != nil; {
 		next := n.next
-		n.next = nil // no wakeBatch walks this chain; sever it here
+		n.next = nil            // no wakeBatch walks this chain; sever it here
 		s.c.wl.satisfyLocked(n) // bumps SatisfiedLevels, one per node
 		s.c.wl.stats.broadcasts.Add(1)
 		n = next

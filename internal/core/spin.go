@@ -129,6 +129,11 @@ func (c *SpinCounter) Stats() Stats {
 // underlying engine (spin probes emit no event).
 func (c *SpinCounter) SetProbe(f func(Event)) { c.a.SetProbe(f) }
 
+// LockAcquires implements LockCounter via the underlying atomic counter
+// (spin probes take no locks).
+func (c *SpinCounter) LockAcquires() uint64 { return c.a.LockAcquires() }
+
 var _ Interface = (*SpinCounter)(nil)
 var _ StatsProvider = (*SpinCounter)(nil)
 var _ ProbeSetter = (*SpinCounter)(nil)
+var _ LockCounter = (*SpinCounter)(nil)

@@ -127,6 +127,28 @@ type ProbeSetter interface {
 	SetProbe(func(Event))
 }
 
+// lockCounting gates the mutex-acquisition probe: while enabled, every
+// engine-mutex and stripe-mutex acquisition made through the lock
+// helpers is counted into the owning structure's tally. Disabled (the
+// default) the probe is one atomic load of a never-written word next to
+// a mutex operation — unmeasurable against the lock itself.
+var lockCounting atomic.Bool
+
+// SetLockCounting enables or disables mutex-acquisition counting
+// process-wide. It exists for the E25 experiment and tests that assert
+// lock-freedom of the satisfied fast path; production code has no
+// reason to enable it.
+func SetLockCounting(on bool) { lockCounting.Store(on) }
+
+// LockCounter is implemented by every registry implementation: it
+// reports the number of counter-mutex acquisitions (engine mutex plus
+// any stripe mutexes — ChanCounter counts its one mutex) recorded while
+// SetLockCounting was enabled. E25 asserts the delta across a batch of
+// already-satisfied checks is zero for every implementation.
+type LockCounter interface {
+	LockAcquires() uint64
+}
+
 // stripeCount returns the number of cells a striped structure should
 // allocate: GOMAXPROCS at the moment of the call, rounded up to a power
 // of two. Callers must capture the result ONCE per structure — at

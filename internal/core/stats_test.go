@@ -30,7 +30,9 @@ func pollStats(t *testing.T, p StatsProvider, what string, cond func(Stats) bool
 // as suspends, a wake storm's satisfied levels and peak match the
 // scenario, wake tallies never exceed satisfied levels, and Reset
 // preserves the cumulative totals.
-func TestStatsConformance(t *testing.T) {
+func TestStatsConformance(t *testing.T) { runStatsConformance(t) }
+
+func runStatsConformance(t *testing.T) {
 	const (
 		levels   = 4
 		perLevel = 3 // 2 Check + 1 CheckContext per level
@@ -143,7 +145,9 @@ func TestStatsConformance(t *testing.T) {
 // regression test for the inconsistent-snapshot bug where satisfies
 // were published under the mutex but the wake tallies were read
 // un-ordered against them.
-func TestStatsConsistentDuringWakeStorm(t *testing.T) {
+func TestStatsConsistentDuringWakeStorm(t *testing.T) { runStatsConsistentDuringWakeStorm(t) }
+
+func runStatsConsistentDuringWakeStorm(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, c Interface) {
 		p := c.(StatsProvider)
 		const (
@@ -172,7 +176,33 @@ func TestStatsConsistentDuringWakeStorm(t *testing.T) {
 		// overlaps the Stats hammering below.
 		pollStats(t, p, "storm waiters suspended", func(s Stats) bool { return s.Suspends >= waiters })
 
+		// Hammer the lock-free satisfied path concurrently with the
+		// storm: level 0 is satisfied from birth, so every one of these
+		// checks must land on ImmediateChecks — the exactness half of the
+		// fast-path stats contract, under the same interleavings that
+		// used to lose locked tallies.
 		stop := make(chan struct{})
+		var satChecks atomic.Uint64
+		var satWG sync.WaitGroup
+		satWG.Add(1)
+		go func() {
+			defer satWG.Done()
+			for {
+				c.Check(0)
+				if err := c.CheckContext(context.Background(), 0); err != nil {
+					t.Errorf("satisfied CheckContext = %v", err)
+					return
+				}
+				satChecks.Add(2)
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+
 		var snapErr atomic.Pointer[string]
 		fail := func(format string, args ...any) {
 			msg := fmt.Sprintf(format, args...)
@@ -217,6 +247,7 @@ func TestStatsConsistentDuringWakeStorm(t *testing.T) {
 		wg.Wait()
 		close(stop)
 		snapWG.Wait()
+		satWG.Wait()
 		if msg := snapErr.Load(); msg != nil {
 			t.Fatal(*msg)
 		}
@@ -230,6 +261,13 @@ func TestStatsConsistentDuringWakeStorm(t *testing.T) {
 		}
 		if final.Increments != increments {
 			t.Errorf("final Increments = %d, want %d", final.Increments, increments)
+		}
+		// Exactness: the storm waiters all parked (the poll above waited
+		// for that), so the satisfied-checker's calls are the only
+		// immediate checks — each counted once, none dropped.
+		if final.ImmediateChecks != satChecks.Load() {
+			t.Errorf("final ImmediateChecks = %d, want exactly %d (one per satisfied check)",
+				final.ImmediateChecks, satChecks.Load())
 		}
 	})
 }

@@ -90,6 +90,12 @@ type waitNode struct {
 	// locking invariant above is unchanged by their existence.
 	hooks *sentinelHook
 
+	// home is the stripe that owns this node when it was created by a
+	// striped level index (stripes.go), nil for engine-indexed nodes.
+	// Immutable after creation; drain dispatches on it so stripe-owned
+	// nodes retire under their stripe's mutex, not the engine mutex.
+	home *stripe
+
 	next *waitNode // used by list-shaped indexes only
 }
 
@@ -139,6 +145,35 @@ type waitlist struct {
 	// check is one atomic load. Never invoked under w.mu or a node's
 	// wake lock.
 	probe atomic.Pointer[func(Event)]
+
+	// lockAcquires counts engine-mutex acquisitions while
+	// SetLockCounting is enabled (stats.go) — the probe behind E25's
+	// assertion that a satisfied check takes zero mutex acquisitions.
+	// Acquisitions made while counting is disabled cost one predictable
+	// branch on an unshared load and are not recorded.
+	lockAcquires atomic.Uint64
+}
+
+// lock takes the engine mutex through the counting probe. Every
+// implementation hot path acquires w.mu through lock/tryLock so the E25
+// zero-lock assertion measures all of them; unlock exists for symmetry.
+func (w *waitlist) lock() {
+	w.mu.Lock()
+	if lockCounting.Load() {
+		w.lockAcquires.Add(1)
+	}
+}
+
+func (w *waitlist) unlock() { w.mu.Unlock() }
+
+func (w *waitlist) tryLock() bool {
+	if !w.mu.TryLock() {
+		return false
+	}
+	if lockCounting.Load() {
+		w.lockAcquires.Add(1)
+	}
+	return true
 }
 
 // engineStats is the collector behind the unified Stats schema. The
@@ -172,9 +207,9 @@ type engineStats struct {
 func (w *waitlist) readStats() Stats {
 	b := w.stats.broadcasts.Load()
 	cl := w.stats.channelCloses.Load()
-	w.mu.Lock()
+	w.lock()
 	s := w.lockedStats()
-	w.mu.Unlock()
+	w.unlock()
 	s.Broadcasts, s.ChannelCloses = b, cl
 	return s
 }
@@ -343,17 +378,23 @@ func (w *waitlist) waitCtx(ctx context.Context, n *waitNode) error {
 
 // drain deregisters the caller from n after wait/waitCtx returned. The
 // common case is one atomic decrement and no lock at all; only the
-// goroutine that drops the count to zero takes the engine mutex, once,
-// to retire the node (the paper's "deallocates the node" — here the
-// garbage collector reclaims it once unreferenced). Called with no lock
-// held.
+// goroutine that drops the count to zero takes a mutex, once, to retire
+// the node (the paper's "deallocates the node" — here the garbage
+// collector reclaims it once unreferenced). A stripe-owned node (home
+// non-nil) retires under its stripe's mutex and never consults idx, so
+// striped callers pass nil; an engine-indexed node retires under the
+// engine mutex through idx.drop. Called with no lock held.
 func (w *waitlist) drain(idx levelIndex, n *waitNode) {
 	if n.count.Add(-1) != 0 {
 		return
 	}
-	w.mu.Lock()
+	if s := n.home; s != nil {
+		s.owner.retire(s, n)
+		return
+	}
+	w.lock()
 	w.cleanupLocked(idx, n)
-	w.mu.Unlock()
+	w.unlock()
 }
 
 // leaveLocked is drain for callers already holding w.mu — the

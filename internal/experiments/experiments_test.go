@@ -3,12 +3,14 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"monotonic/internal/core"
 )
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 24 {
-		t.Fatalf("registered %d experiments, want 24", len(all))
+	if len(all) != 25 {
+		t.Fatalf("registered %d experiments, want 25", len(all))
 	}
 	for i, e := range all {
 		want := "E" + itoa(i+1)
@@ -125,5 +127,40 @@ func TestE24BoundsHold(t *testing.T) {
 	flips := tables[1]
 	if got := flips.Rows[0][1]; got != "0" {
 		t.Errorf("non-flipping increments produced %s sentinel fires, want 0", got)
+	}
+}
+
+// TestE25BoundsHold pins the read-side bounds at test time: every
+// implementation row must report zero mutex acquisitions with the
+// immediate-check tally equal to the issued satisfied checks, and the
+// registration table must carry the 4-P bound verdict. (E25 additionally
+// panics inside Run on violation, so reported runs fail fast too.)
+func TestE25BoundsHold(t *testing.T) {
+	e, ok := Get("E25")
+	if !ok {
+		t.Fatal("E25 missing")
+	}
+	tables := e.Run(Config{Quick: true})
+	if len(tables) != 2 {
+		t.Fatalf("E25 produced %d tables, want 2", len(tables))
+	}
+	zero := tables[0]
+	if len(zero.Rows) != len(core.Registry()) {
+		t.Fatalf("zero-lock table has %d rows, want one per implementation (%d)", len(zero.Rows), len(core.Registry()))
+	}
+	for _, row := range zero.Rows {
+		if row[2] != "0" {
+			t.Errorf("%s: %s mutex acquisitions for satisfied checks, want 0", row[0], row[2])
+		}
+		if row[3] != row[1] {
+			t.Errorf("%s: %s immediate checks counted for %s issued", row[0], row[3], row[1])
+		}
+	}
+	reg := tables[1]
+	if len(reg.Rows) != 3 {
+		t.Fatalf("registration table has %d rows, want 3 (procs 1,2,4)", len(reg.Rows))
+	}
+	if got := reg.Rows[2][4]; got != "match" {
+		t.Errorf("4-P registration bound verdict = %q, want \"match\"", got)
 	}
 }

@@ -47,7 +47,14 @@ func init() {
 			"pays exactly when rivals collide with a RUNNING holder, which needs two or " +
 			"more real cores — on such a host the share moves off zero and this matrix is " +
 			"the regression gate for it; on this one, the GOMAXPROCS=4 race legs keep the " +
-			"claim/fold protocol correct while the curves gate the oversubscription cost.",
+			"claim/fold protocol correct while the curves gate the oversubscription cost. " +
+			"The publisher spin budget is tunable per counter via SetSpin(active, yields), " +
+			"re-tuned with BenchmarkFCSpinTune at -cpu 1,2,4 after the watermark/striping " +
+			"change (best-of-3 ns/op for active/yields configs 0/0, 8/2, 32/4, 128/8, " +
+			"512/16 — p=1: 24.81/24.73/24.50/24.46/26.06; p=2: 26.35/26.40/25.09/26.79/" +
+			"26.14; p=4: 28.84/28.46/28.78/28.81/28.36): all configs sit within host noise " +
+			"and the defaults (32, 4) stay — best at p=2, competitive elsewhere, and on one " +
+			"CPU a longer spin only burns the timeslice the holder needs.",
 		Run: func(cfg Config) []*harness.Table {
 			workers, perWorker, reps := 8, 100000, 5
 			if cfg.Quick {

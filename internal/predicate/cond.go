@@ -122,6 +122,11 @@ func (c *Cond) disarmLocked() {
 // evaluateLocked reads fresh bounds, settles the Cond if the predicate
 // holds, and otherwise re-parks one sentinel per still-unsatisfied
 // coordinate at the predicate's frontier levels. Called with mu held.
+// The bound reads (Value) and the frontier re-arms (Sentinel) are both
+// lock-free against the counters' engines now — Value is the atomic
+// watermark and Sentinel registers on the frontier level's stripe — so
+// holding Cond.mu across the pass no longer serializes the evaluator
+// against incrementers on any engine mutex.
 //
 // The whole armed set is rebuilt on every pass: sentinels are one-shot
 // and cheap (one waiter count on a node), and rebuilding makes the
@@ -175,6 +180,16 @@ func (c *Cond) evaluateLocked() {
 // Cond never existed. Any number of goroutines may Wait concurrently;
 // all are released by the single satisfying evaluation.
 func (c *Cond) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		// Already satisfied: the done channel is the Cond's watermark —
+		// closed exactly once, at satisfaction, which is terminal — so a
+		// Wait on a settled Cond returns without touching Cond.mu, the
+		// predicate-tier analogue of the counters' lock-free satisfied
+		// Check.
+		return nil
+	default:
+	}
 	c.mu.Lock()
 	if !c.satisfied {
 		if !c.started {
@@ -230,6 +245,11 @@ func (c *Cond) readLocked() []uint64 {
 // (and releasing any waiters) if it does. It never arms sentinels and
 // never blocks — the zero/negative-timeout analogue of Wait.
 func (c *Cond) Poll() bool {
+	select {
+	case <-c.done:
+		return true // settled: no lock needed (see Wait)
+	default:
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.satisfied {

@@ -60,7 +60,10 @@ type waiter struct {
 
 // add registers w, resolving it immediately when the value already
 // satisfies the level (the remote fast path: no dispatcher goroutine is
-// started for an already-satisfied check).
+// started for an already-satisfied check). Value() is the counter's
+// atomic watermark, so the satisfied branch holds only the dispatcher
+// lock — the counter's engine mutex is never nested inside it (it used
+// to be, for the mutex-guarded Value implementations).
 func (d *dispatcher) add(w *waiter) {
 	d.lock()
 	if w.done {
@@ -131,9 +134,12 @@ func (d *dispatcher) run() {
 		ctx, cancel := context.WithCancel(context.Background())
 		d.interrupt = cancel
 		d.unlock()
-		// Parks on the shared waitlist engine; an interrupt (new lower
+		// Parks on min's stripe of the striped level index (or the
+		// engine list, per implementation); an interrupt (new lower
 		// minimum, cancelled minimum) returns early and the next loop
-		// iteration re-arms. Either way no goroutine is left behind.
+		// iteration re-arms — on the new minimum's stripe, so the
+		// dispatcher's single park tracks the per-stripe minima without
+		// ever scanning them. Either way no goroutine is left behind.
 		_ = d.c.CheckContext(ctx, min)
 		cancel()
 	}
