@@ -22,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -30,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"monotonic/internal/server"
 )
@@ -50,14 +53,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "counterd: %v\n", err)
 		os.Exit(1)
 	}
+	var hsrv *http.Server
 	if *expvarAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/vars", expvar.Handler())
+		// A bare http.ListenAndServe would hold an untimed listener that
+		// nothing ever closes: a peer dribbling its request headers pins
+		// a connection forever, and a SIGTERM would leave the port bound
+		// until the process dies. A real http.Server bounds the header
+		// read and hands shutdown a handle.
+		hsrv = &http.Server{
+			Addr:              *expvarAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      10 * time.Second,
+			IdleTimeout:       time.Minute,
+		}
 		go func() {
-			if err := http.ListenAndServe(*expvarAddr, mux); err != nil {
+			if err := hsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "counterd: expvar: %v\n", err)
 			}
 		}()
+	}
+	shutdownExpvar := func() {
+		if hsrv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hsrv.Shutdown(ctx); err != nil {
+			hsrv.Close()
+		}
 	}
 
 	srv := server.New()
@@ -71,8 +98,10 @@ func main() {
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "counterd: %v, shutting down\n", s)
 		srv.Close()
+		shutdownExpvar()
 		<-done
 	case err := <-done:
+		shutdownExpvar()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "counterd: %v\n", err)
 			os.Exit(1)

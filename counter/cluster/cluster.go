@@ -1,0 +1,418 @@
+// Package cluster scales the counterd service horizontally: a static
+// member list of counterd nodes, consistent-hash placement of counter
+// names over the live members, and client-side failover that rides over
+// a node death without losing or double-applying an increment.
+//
+// All placement and routing live in the client — a node never proxies
+// or even knows about another node's counters, in the spirit of keeping
+// work off the synchronizing hot path. Every client derives the same
+// placement from the same member list (the ring is a pure function of
+// the addresses), so clients agree on where a name lives without any
+// coordination service.
+//
+// # Why monotonicity makes failover cheap
+//
+// The paper's core invariant — a counter only grows — is exactly what
+// makes distributed failover inexpensive:
+//
+//   - A re-sent Check cannot observe a smaller value, so a blocked wait
+//     can simply be re-issued against whatever node now hosts the name.
+//   - Increments commute, so a counter's value is nothing more than the
+//     sum of each writer's total contribution — and each cluster client
+//     knows its own total per name (its *ledger*).
+//
+// When a node dies, its hosted values die with it. The cluster client
+// re-routes each of the dead node's names to the next live node on the
+// ring and replays its full ledger for those names there. Every writer
+// of a name does the same (they all lost the same node), so the
+// reconstructed value is again the sum of all contributions: exactly
+// the increments that were issued, each applied once. In-flight
+// increments are not double-counted: an increment enters the ledger and
+// is routed under one lock, so the failover snapshot either already
+// includes it (and the send to the dying node is dropped) or the ring
+// change happened first (and it routes to the successor directly).
+//
+// A node that restarts *quickly* — the TCP reconnect succeeds before
+// the client's failure budget is spent — is detected through the boot
+// epoch in the handshake (wire.OpWelcome) and treated exactly like a
+// death: the fresh instance's counters are zero and the per-session
+// resume restores only the unacknowledged tail, so the cluster retires
+// the member and replays its full ledger to the successor. Retiring is
+// deliberately chosen over topping the new instance back up: a top-up
+// snapshot cannot be taken atomically with the session resume (they
+// live under different locks), so an increment racing the restart could
+// land both in the new session and in the top-up. Replay-to-successor
+// has no such window — the ledger snapshot and the re-route happen
+// under one lock, and nothing about the retired instance's state
+// matters afterwards.
+//
+// # Scope
+//
+// Failover is client-local and assumes fail-stop nodes: a node declared
+// dead must not serve other writers afterwards, or clients that kept it
+// would disagree with clients that failed over. The member list is
+// static for the life of the Cluster; a dead member is never re-added.
+// See docs/PATTERNS.md, "Scaling to a cluster".
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"monotonic/counter/remote"
+	"monotonic/internal/wire"
+)
+
+// ErrNoNodes is reported (or panicked, by operations that cannot return
+// an error) once every member of the cluster has been declared dead.
+var ErrNoNodes = errors.New("cluster: no live nodes")
+
+// vnodesPerNode is the number of ring points each member contributes.
+// More points smooth the per-node share of names and shrink the slice
+// of names that moves on a failover (only the dead node's arcs move).
+const vnodesPerNode = 64
+
+// Option configures DialCluster.
+type Option func(*config)
+
+type config struct {
+	poolSize  int
+	failAfter int
+	base, cap time.Duration
+	dialer    func(addr string) (net.Conn, error)
+}
+
+// WithPoolSize sets how many remote.Client connections the cluster
+// holds per node (default 1). Counter names hash over the pool, so a
+// large population of counters spreads its frames — and its sessions'
+// sequence spaces — over the pool instead of serializing on one
+// connection's writer.
+func WithPoolSize(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithFailAfter sets the failure budget: a node is declared dead after
+// this many consecutive failed reconnect attempts by any of its pooled
+// clients (default 10). With the default backoff that is on the order
+// of a few seconds of unreachability.
+func WithFailAfter(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.failAfter = n
+		}
+	}
+}
+
+// WithBackoff forwards a reconnect backoff window (base doubling to
+// cap, full jitter) to every pooled client; see remote.WithBackoff.
+func WithBackoff(base, cap time.Duration) Option {
+	return func(c *config) { c.base, c.cap = base, cap }
+}
+
+// WithDialer forwards a transport dialer to every pooled client; see
+// remote.WithDialer. The dialer receives the node's address.
+func WithDialer(d func(addr string) (net.Conn, error)) Option {
+	return func(c *config) { c.dialer = d }
+}
+
+// Cluster is a client for a set of counterd nodes. It is safe for
+// concurrent use; all counters obtained from it share its pooled
+// connections. Obtain one with DialCluster and release it with Close.
+type Cluster struct {
+	cfg config
+
+	mu       sync.Mutex
+	nodes    []*node
+	ring     []point // points of live nodes, sorted by hash
+	counters map[string]*Counter
+	closed   bool
+}
+
+// node is one member: its address and its pooled clients. down is
+// guarded by Cluster.mu and latches — a dead member never comes back.
+type node struct {
+	addr    string
+	clients []*remote.Client
+	down    bool
+}
+
+// counterFor resolves the pooled remote counter hosting name on this
+// node; the pool index is derived from the name's hash so every call
+// (and every replay) for a name uses the same session.
+func (n *node) counterFor(name string, hash uint64) *remote.Counter {
+	return n.clients[hash%uint64(len(n.clients))].Counter(name)
+}
+
+// point is one ring position owned by a node.
+type point struct {
+	hash uint64
+	n    *node
+}
+
+// DialCluster connects to every member of the static address list and
+// returns a cluster client. Every address must be dialable at start —
+// a cluster that begins degraded would silently mis-place names.
+func DialCluster(addrs []string, opts ...Option) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: empty member list")
+	}
+	cfg := config{poolSize: 1, failAfter: 10, base: defaultsBase, cap: defaultsCap}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Cluster{cfg: cfg, counters: make(map[string]*Counter)}
+	for _, addr := range addrs {
+		n := &node{addr: addr}
+		c.nodes = append(c.nodes, n) // registered before dialing so closeAll sees a partial pool
+		for i := 0; i < cfg.poolSize; i++ {
+			ropts := []remote.Option{
+				remote.WithBackoff(cfg.base, cfg.cap),
+				remote.WithRetryNotify(c.retryWatcher(n)),
+				remote.WithRestartNotify(c.restartWatcher(n)),
+			}
+			if cfg.dialer != nil {
+				ropts = append(ropts, remote.WithDialer(cfg.dialer))
+			}
+			cl, err := remote.Dial(addr, ropts...)
+			if err != nil {
+				c.closeAll()
+				return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+			}
+			n.clients = append(n.clients, cl)
+		}
+	}
+	c.rebuildRingLocked() // no lock needed yet: c unpublished
+	return c, nil
+}
+
+// Mirror remote's defaults without exporting them.
+const (
+	defaultsBase = 5 * time.Millisecond
+	defaultsCap  = 500 * time.Millisecond
+)
+
+// closeAll tears down every client dialed so far (partial-dial cleanup).
+func (c *Cluster) closeAll() {
+	for _, n := range c.nodes {
+		for _, cl := range n.clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}
+}
+
+// Close tears the cluster down: every pooled client closes, and every
+// outstanding wait resolves with remote.ErrClosed. The ledger is
+// abandoned with the cluster.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var clients []*remote.Client
+	for _, n := range c.nodes {
+		clients = append(clients, n.clients...)
+	}
+	c.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	return nil
+}
+
+// Counter returns the named cluster counter, hosted by whichever live
+// node the name hashes to. Names must be 1..wire.MaxName bytes (the
+// same contract as remote.Client.Counter).
+func (c *Cluster) Counter(name string) *Counter {
+	if name == "" || len(name) > wire.MaxName {
+		panic(fmt.Sprintf("cluster: bad counter name %q", name))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr, ok := c.counters[name]
+	if !ok {
+		ctr = &Counter{cl: c, name: name, hash: fnv64a(name)}
+		c.counters[name] = ctr
+	}
+	return ctr
+}
+
+// NodeFor reports the address of the live node currently hosting name;
+// ok is false once no members are live. Placement is a pure function of
+// the member list and the set of dead nodes, so every cluster client
+// with the same view reports the same address.
+func (c *Cluster) NodeFor(name string) (addr string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.routeLocked(fnv64a(name))
+	if n == nil {
+		return "", false
+	}
+	return n.addr, true
+}
+
+// Live reports the addresses of the members not declared dead.
+func (c *Cluster) Live() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, n := range c.nodes {
+		if !n.down {
+			out = append(out, n.addr)
+		}
+	}
+	return out
+}
+
+// retryWatcher is the per-node failure budget: any pooled client of n
+// exceeding cfg.failAfter consecutive failed reconnects declares the
+// node dead. It runs on the client's reader goroutine, so failNode must
+// never wait on that client (it closes the pool asynchronously).
+func (c *Cluster) retryWatcher(n *node) func(failures int, err error) {
+	return func(failures int, err error) {
+		if failures >= c.cfg.failAfter {
+			c.failNode(n)
+		}
+	}
+}
+
+// restartWatcher handles the quick-restart case: the node came back as
+// a fresh instance before the failure budget was spent, detected by the
+// boot epoch changing across a reconnect. The old instance's hosted
+// values are gone, so the member is retired like any other death and
+// the ledger replays to the successor (see the package comment for why
+// retiring beats topping the new instance up).
+func (c *Cluster) restartWatcher(n *node) func(oldE, newE uint64, unacked map[string]uint64) {
+	return func(_, _ uint64, _ map[string]uint64) {
+		c.failNode(n)
+	}
+}
+
+// failNode declares n dead: its ring points are removed (re-homing its
+// names on the next live node), this client's ledger for every moved
+// name is replayed through the successor, and the dead pool is closed —
+// resolving its parked waits with remote.ErrClosed, which sends cluster
+// waiters back through routing. Exactly-once holds because the dead
+// node's applied state is gone with it and the ledger is the client's
+// complete contribution: replaying it recreates exactly what was lost
+// (the session seq-dedup covers any reconnect during the replay
+// itself). Callers may be a dead client's own reader goroutine, so the
+// pool is closed asynchronously.
+func (c *Cluster) failNode(n *node) {
+	type replay struct {
+		rc  *remote.Counter
+		amt uint64
+	}
+	var replays []replay
+	c.mu.Lock()
+	if c.closed || n.down {
+		c.mu.Unlock()
+		return
+	}
+	var moved []*Counter
+	for _, ctr := range c.counters {
+		if ctr.contrib > 0 && c.routeLocked(ctr.hash) == n {
+			moved = append(moved, ctr)
+		}
+	}
+	n.down = true
+	c.rebuildRingLocked()
+	for _, ctr := range moved {
+		succ := c.routeLocked(ctr.hash)
+		if succ == nil {
+			break // last node died; nothing to replay into
+		}
+		replays = append(replays, replay{succ.counterFor(ctr.name, ctr.hash), ctr.contrib})
+	}
+	clients := n.clients
+	c.mu.Unlock()
+	for _, r := range replays {
+		// ErrClosed: the successor died concurrently; its own failover
+		// replays the full ledger to the next live node.
+		_ = r.rc.TryIncrement(r.amt)
+	}
+	for _, cl := range clients {
+		go cl.Close()
+	}
+}
+
+// rebuildRingLocked recomputes the ring from the live members. Callers
+// hold c.mu (or own c exclusively).
+func (c *Cluster) rebuildRingLocked() {
+	ring := c.ring[:0]
+	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		for i := 0; i < vnodesPerNode; i++ {
+			ring = append(ring, point{fnv64a(fmt.Sprintf("%s#%d", n.addr, i)), n})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].n.addr < ring[j].n.addr
+	})
+	c.ring = ring
+}
+
+// routeLocked resolves a name hash to its live home: the first ring
+// point at or after the hash, wrapping at the top. Callers hold c.mu.
+func (c *Cluster) routeLocked(hash uint64) *node {
+	if len(c.ring) == 0 {
+		return nil
+	}
+	i := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= hash })
+	if i == len(c.ring) {
+		i = 0
+	}
+	return c.ring[i].n
+}
+
+// homeCounter routes name to the remote counter currently hosting it.
+func (c *Cluster) homeCounter(ctr *Counter) (*remote.Counter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, remote.ErrClosed
+	}
+	n := c.routeLocked(ctr.hash)
+	if n == nil {
+		return nil, ErrNoNodes
+	}
+	return n.counterFor(ctr.name, ctr.hash), nil
+}
+
+// fnv64a is FNV-1a over s run through a 64-bit avalanche finalizer —
+// allocation-free (hash/fnv's Hash64 would escape per route), stable
+// across processes, and the single hash placement and pool selection
+// both derive from. The finalizer (murmur3's fmix64) matters: raw
+// FNV-1a of short, similar strings — counter names, host:port#vnode —
+// leaves the high bits poorly mixed, and ring position orders by the
+// FULL 64-bit value, so without it whole swaths of names crowd onto one
+// arc of the circle.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/counter/remote"
+)
+
+// Counter is a named monotonic counter hosted by whichever cluster node
+// its name hashes to, obtained from Cluster.Counter. It implements the
+// same counter.Interface as the in-process and single-node remote
+// types; code written against the interface cannot tell where the
+// counter lives. Counters with the same name through any Cluster over
+// the same member list are one counter.
+//
+// On top of the remote semantics, a cluster counter rides over node
+// death: a blocked wait whose home node is retired is transparently
+// re-issued against the name's new home (monotonicity makes the
+// re-issue safe — it cannot observe a smaller value), and the increments
+// this Cluster contributed are replayed there from its ledger.
+type Counter struct {
+	cl   *Cluster
+	name string
+	hash uint64
+
+	// contrib is this Cluster's ledger entry for the name: the total
+	// amount it has ever contributed (less resets). Failover replays it
+	// to the name's new home. Guarded by cl.mu — the ledger update and
+	// the route decision must be atomic, or an increment could slip
+	// between a failover's snapshot and its re-route and be lost or
+	// doubled.
+	contrib uint64
+
+	// known is the cluster-client-local satisfied watermark, the same
+	// monotone lower bound the single-node client keeps. Across a
+	// failover it remains a bound on the reconstructed value once every
+	// contributing Cluster has replayed its ledger (fail-stop members;
+	// a closed Cluster's unreplayed tail died unobserved with it).
+	known atomic.Uint64
+
+	immediate atomic.Uint64 // checks satisfied by the cluster-local watermark
+	reroutes  atomic.Uint64 // waits re-issued because their home was retired
+}
+
+// The cluster counter is interchangeable with the in-process and
+// single-node remote ones.
+var (
+	_ counter.Interface     = (*Counter)(nil)
+	_ counter.StatsProvider = (*Counter)(nil)
+)
+
+// noteSatisfied raises the satisfied watermark to level (never lowers
+// it — concurrent observations may arrive out of order).
+func (ctr *Counter) noteSatisfied(level uint64) {
+	for {
+		cur := ctr.known.Load()
+		if level <= cur || ctr.known.CompareAndSwap(cur, level) {
+			return
+		}
+	}
+}
+
+// Increment atomically increases the counter's value by amount, waking
+// every waiter — in any process, against any node — whose level the new
+// value satisfies. The amount enters this Cluster's ledger and is
+// pipelined to the name's home node; if that node is being retired
+// concurrently, the failover replay delivers it to the successor
+// instead, still exactly once.
+func (ctr *Counter) Increment(amount uint64) {
+	if err := ctr.TryIncrement(amount); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryIncrement is Increment reporting errors instead of panicking:
+// remote.ErrClosed on a closed Cluster, ErrNoNodes once every member is
+// dead, or the latched server rejection (overflow) relayed by the home
+// client.
+func (ctr *Counter) TryIncrement(amount uint64) error {
+	c := ctr.cl
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return remote.ErrClosed
+	}
+	n := c.routeLocked(ctr.hash)
+	if n == nil {
+		c.mu.Unlock()
+		return ErrNoNodes
+	}
+	if amount == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	ctr.contrib += amount
+	rc := n.counterFor(ctr.name, ctr.hash)
+	c.mu.Unlock()
+	if err := rc.TryIncrement(amount); err != nil {
+		if errors.Is(err, remote.ErrClosed) {
+			// The home's client was retired between the route and the
+			// send. The retirement's ledger snapshot was taken under the
+			// same lock as our ledger update, so it included this amount
+			// and the replay delivers it to the successor — dropping the
+			// direct send here is what keeps it exactly-once.
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Name reports the name the counter was opened under — the key both
+// placement (Cluster.NodeFor) and identity across clients derive from.
+func (ctr *Counter) Name() string { return ctr.name }
+
+// Contribution reports this Cluster's ledger entry for the counter: the
+// total amount it has contributed since the last Reset. The cluster-wide
+// value is the sum of every contributing Cluster's entry.
+func (ctr *Counter) Contribution() uint64 {
+	ctr.cl.mu.Lock()
+	defer ctr.cl.mu.Unlock()
+	return ctr.contrib
+}
+
+// Check suspends the caller until the value is at least level, riding
+// over reconnects and node failovers. It panics only if the Cluster is
+// closed (or the last member dies) while waiting — the cluster analogue
+// of the single-node client's ErrClosed panic.
+func (ctr *Counter) Check(level uint64) {
+	if err := ctr.CheckContext(context.Background(), level); err != nil {
+		panic(err.Error())
+	}
+}
+
+// CheckContext is Check with cancellation: nil once the value reaches
+// level, ctx.Err() if the context wins, with satisfied-beats-cancelled
+// resolved by the home server. If the home node is retired mid-wait the
+// wait is re-issued against the name's new home: the value is monotone,
+// so re-asking can never observe less, and the failover replay has
+// already been queued on the same session — a wait that was entitled
+// before the failover becomes entitled again once the contributing
+// ledgers land. Returns remote.ErrClosed if the Cluster is closed while
+// waiting, ErrNoNodes once every member is dead.
+func (ctr *Counter) CheckContext(ctx context.Context, level uint64) error {
+	if level <= ctr.known.Load() {
+		ctr.immediate.Add(1)
+		return nil
+	}
+	for {
+		rc, err := ctr.cl.homeCounter(ctr)
+		if err != nil {
+			return err
+		}
+		switch err := rc.CheckContext(ctx, level); {
+		case err == nil:
+			ctr.noteSatisfied(level)
+			return nil
+		case errors.Is(err, remote.ErrClosed):
+			// The home's client closed under the wait — a failover (or
+			// Cluster close; the next route answers which). Re-route.
+			ctr.reroutes.Add(1)
+		default:
+			return err // the context won
+		}
+	}
+}
+
+// WaitTimeout is Check bounded by a timeout, reporting whether the
+// level was reached; a satisfied level beats an expired deadline, and
+// the deadline spans failovers (a retired home does not restart the
+// clock).
+func (ctr *Counter) WaitTimeout(level uint64, d time.Duration) bool {
+	if level <= ctr.known.Load() {
+		ctr.immediate.Add(1)
+		return true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	switch err := ctr.CheckContext(ctx, level); {
+	case err == nil:
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		return false
+	default:
+		panic(err.Error()) // Cluster closed or last member dead mid-wait
+	}
+}
+
+// Sentinel arms a one-shot hook that fires when the value reaches
+// level, making cluster counters watchable by counter/wait's predicate
+// conditions alongside in-process and single-node remote ones. The
+// armed sentinel survives failovers the same way CheckContext does.
+func (ctr *Counter) Sentinel(level uint64, fn func()) (cancel func() bool, armed bool) {
+	if level <= ctr.known.Load() {
+		ctr.immediate.Add(1)
+		return nil, false
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	var state atomic.Int32 // 0 armed, 1 fired, 2 cancelled
+	go func() {
+		defer cancelCtx()
+		if ctr.CheckContext(ctx, level) == nil {
+			if state.CompareAndSwap(0, 1) {
+				fn()
+			}
+		}
+	}()
+	return func() bool {
+		if state.CompareAndSwap(0, 2) {
+			cancelCtx()
+			return true
+		}
+		return false
+	}, true
+}
+
+// Watermark returns the satisfied watermark this Cluster has observed
+// for the counter — a monotone lower bound on the cluster-wide value,
+// which is the view the predicate layer (counter/wait) needs. It never
+// touches the network.
+func (ctr *Counter) Watermark() uint64 { return ctr.known.Load() }
+
+// Reset sets the value back to zero for reuse between phases and zeroes
+// this Cluster's ledger entry, so a later failover does not resurrect
+// pre-reset contributions. As everywhere else, Reset must not run
+// concurrently with any other operation on the counter and panics if
+// waiters are suspended on it. In a cluster the exclusivity is
+// cluster-wide and extends to the ledgers: every OTHER Cluster that has
+// written the name still holds its pre-reset contribution, which a
+// failover would faithfully replay — so phase reuse across failures is
+// exact only when each name has a single writing Cluster per phase (the
+// usual sharded-writer deployment), or when writers re-open the name
+// (fresh ledger) after the reset.
+func (ctr *Counter) Reset() {
+	rc, err := ctr.cl.homeCounter(ctr)
+	if err != nil {
+		panic("cluster: reset: " + err.Error())
+	}
+	rc.Reset() // relays the server's refusal as a panic if waiters are suspended
+	ctr.cl.mu.Lock()
+	ctr.contrib = 0
+	ctr.cl.mu.Unlock()
+	// The hosted value is zero again; the watermark must restart with it
+	// or stale immediate Checks would lie.
+	ctr.known.Store(0)
+}
+
+// Stats reports the home node's engine measurements for the counter
+// (the shared schema every client session contributes to), folding in
+// this Cluster's local fast-path accounting: checks satisfied by the
+// cluster-side watermark never reach a node, so the home undercounts
+// them. After a failover the numbers describe the new home, whose
+// engine history starts at the replay.
+func (ctr *Counter) Stats() counter.Stats {
+	rc, err := ctr.cl.homeCounter(ctr)
+	if err != nil {
+		return counter.Stats{ImmediateChecks: ctr.immediate.Load()}
+	}
+	s := rc.Stats()
+	s.ImmediateChecks += ctr.immediate.Load()
+	return s
+}

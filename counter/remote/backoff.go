@@ -1,0 +1,58 @@
+package remote
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Reconnect backoff defaults; override with WithBackoff.
+const (
+	defaultBackoffBase = 5 * time.Millisecond
+	defaultBackoffCap  = 500 * time.Millisecond
+)
+
+// backoff produces the reconnect retry schedule: an exponentially
+// growing window with full jitter. The window starts at base and
+// doubles per attempt up to cap; each attempt sleeps a uniformly random
+// duration inside the current window. Full jitter (rather than jitter
+// around the deterministic schedule) is what decorrelates a fleet: when
+// a node restart severs every client at the same instant, deterministic
+// doubling has them all knocking again in lockstep at 5ms, 10ms, 20ms…
+// — a synchronized reconnect storm — whereas uniform draws spread each
+// wave across the whole window from the very first attempt.
+//
+// A Client copies its configured backoff per outage, so every outage
+// starts a fresh window and the schedule state needs no locking.
+type backoff struct {
+	base, cap time.Duration
+	window    time.Duration // current window; 0 means "not started"
+	// rnd returns a uniform int64 in [0, n); tests replace it to pin
+	// the schedule. nil selects the process-wide math/rand/v2 source.
+	rnd func(n int64) int64
+}
+
+// next returns the duration to sleep before the upcoming attempt and
+// advances the window.
+func (b *backoff) next() time.Duration {
+	if b.base <= 0 {
+		b.base = defaultBackoffBase
+	}
+	if b.cap < b.base {
+		b.cap = b.base
+	}
+	if b.window <= 0 {
+		b.window = b.base
+	}
+	w := b.window
+	if b.window < b.cap {
+		b.window *= 2
+		if b.window > b.cap {
+			b.window = b.cap
+		}
+	}
+	rnd := b.rnd
+	if rnd == nil {
+		rnd = rand.Int64N
+	}
+	return time.Duration(rnd(int64(w)))
+}

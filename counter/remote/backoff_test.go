@@ -1,0 +1,82 @@
+package remote
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffWindowDoublesToCap pins the deterministic skeleton under
+// the jitter: windows double from base and clamp at cap. The injected
+// rnd returns n-1, the maximum draw, so the observed sleep is exactly
+// window-1 and the window sequence is visible through it.
+func TestBackoffWindowDoublesToCap(t *testing.T) {
+	b := backoff{base: 5 * time.Millisecond, cap: 40 * time.Millisecond,
+		rnd: func(n int64) int64 { return n - 1 }}
+	want := []time.Duration{5, 10, 20, 40, 40, 40}
+	for i, w := range want {
+		w *= time.Millisecond
+		if got := b.next(); got != w-1 {
+			t.Fatalf("attempt %d: sleep = %v, want window %v - 1ns", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffFullJitterSpansWindow pins that the draw is over the FULL
+// window [0, w) — not a narrow band around the deterministic schedule —
+// by checking the bounds for every attempt and that the low end of the
+// window is actually reachable.
+func TestBackoffFullJitterSpansWindow(t *testing.T) {
+	b := backoff{base: 4 * time.Millisecond, cap: 64 * time.Millisecond,
+		rnd: func(n int64) int64 { return 0 }}
+	for i := 0; i < 8; i++ {
+		if got := b.next(); got != 0 {
+			t.Fatalf("attempt %d: minimum draw = %v, want 0 (full jitter reaches the window floor)", i+1, got)
+		}
+	}
+
+	windows := []time.Duration{4, 8, 16, 32, 64, 64}
+	b = backoff{base: 4 * time.Millisecond, cap: 64 * time.Millisecond} // real randomness
+	for i, w := range windows {
+		w *= time.Millisecond
+		got := b.next()
+		if got < 0 || got >= w {
+			t.Fatalf("attempt %d: sleep = %v, outside [0, %v)", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffSchedulesDecorrelate is the lockstep regression: two
+// clients severed by the same node restart must not retry on identical
+// schedules. Two independently drawn schedules with the same base/cap
+// collide with probability ~(1/5e6)^8 per pair of attempts; any
+// identical sequence means the jitter is gone.
+func TestBackoffSchedulesDecorrelate(t *testing.T) {
+	a := backoff{base: 5 * time.Millisecond, cap: 500 * time.Millisecond}
+	b := backoff{base: 5 * time.Millisecond, cap: 500 * time.Millisecond}
+	identical := true
+	for i := 0; i < 8; i++ {
+		if a.next() != b.next() {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("two clients drew identical 8-attempt retry schedules: backoff is not jittered")
+	}
+}
+
+// TestBackoffClampsBadConfig pins the WithBackoff clamping: a
+// non-positive base falls back to the default, a cap below base is
+// raised to base.
+func TestBackoffClampsBadConfig(t *testing.T) {
+	b := backoff{base: 0, cap: 0, rnd: func(n int64) int64 { return n - 1 }}
+	if got := b.next(); got != defaultBackoffBase-1 {
+		t.Fatalf("zero-config first sleep = %v, want default window %v - 1ns", got, defaultBackoffBase)
+	}
+	b = backoff{base: 20 * time.Millisecond, cap: time.Millisecond,
+		rnd: func(n int64) int64 { return n - 1 }}
+	for i := 0; i < 3; i++ {
+		if got := b.next(); got != 20*time.Millisecond-1 {
+			t.Fatalf("attempt %d with cap<base: sleep = %v, want clamped window 20ms - 1ns", i+1, got)
+		}
+	}
+}

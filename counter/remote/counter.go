@@ -75,21 +75,39 @@ func (c *Counter) emit(kind counter.EventKind, level uint64) {
 // the same programming error that panics in-process), the client
 // latches the error and the next operation panics.
 func (c *Counter) Increment(amount uint64) {
-	c.cl.checkFatal()
-	if amount == 0 {
-		return
+	if err := c.TryIncrement(amount); err != nil {
+		panic(err.Error())
 	}
+}
+
+// TryIncrement is Increment for supervisors that own the client's
+// lifecycle (the cluster layer, counter/cluster): instead of panicking
+// it reports ErrClosed on a closed client and the latched rejection on
+// a poisoned one. A failover path that races a client teardown needs
+// the error, not the panic: ErrClosed there means "this client's node
+// was retired and the amount is the replay machinery's problem now".
+func (c *Counter) TryIncrement(amount uint64) error {
 	cl := c.cl
 	cl.mu.Lock()
+	if cl.fatal != nil {
+		fatal := cl.fatal
+		cl.mu.Unlock()
+		return fatal
+	}
 	if cl.closed {
 		cl.mu.Unlock()
-		panic(ErrClosed.Error())
+		return ErrClosed
+	}
+	if amount == 0 {
+		cl.mu.Unlock()
+		return nil
 	}
 	cl.nextSeq++
 	cl.pending = append(cl.pending, pendingInc{seq: cl.nextSeq, name: c.name, amount: amount})
 	cl.enqueueLocked(&wire.Frame{Op: wire.OpIncrement, Name: c.name, Seq: cl.nextSeq, Amount: amount})
 	cl.mu.Unlock()
 	c.emit(counter.EventIncrement, amount)
+	return nil
 }
 
 // Check suspends the caller until the hosted value is at least level.

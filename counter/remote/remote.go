@@ -50,6 +50,42 @@ func WithDialer(d func(addr string) (net.Conn, error)) Option {
 	return func(cl *Client) { cl.dial = d }
 }
 
+// WithBackoff configures the reconnect schedule: the first retry after
+// a failed attempt sleeps a uniformly random duration below base, and
+// the window doubles per consecutive failure up to cap (full jitter —
+// see backoff). The defaults are 5ms growing to 500ms. Non-positive or
+// inverted values are clamped sensibly (base defaults, cap raised to
+// base).
+func WithBackoff(base, cap time.Duration) Option {
+	return func(cl *Client) { cl.boff = backoff{base: base, cap: cap} }
+}
+
+// WithRetryNotify installs fn to observe the reconnect loop: after
+// every failed attempt it is called with the count of consecutive
+// failures in this outage (1, 2, …) and the attempt's error, and after
+// a successful reconnect with (0, nil). fn runs on the client's reader
+// goroutine — it must not block and must not call methods that wait on
+// the client (Close, round trips). The cluster layer uses it to declare
+// a node dead after a failure budget.
+func WithRetryNotify(fn func(failures int, err error)) Option {
+	return func(cl *Client) { cl.retryNotify = fn }
+}
+
+// WithRestartNotify installs fn to observe node restarts: when a
+// reconnect's Welcome carries a different boot epoch than the previous
+// connection's, the server is a different instance — every increment it
+// had acknowledged, and the counter values they built, are gone, and
+// the ordinary resume (re-send the unacked tail) cannot restore them.
+// fn receives both epochs plus this client's still-unacknowledged
+// amount per counter name (the portion the resume machinery is already
+// re-sending), so a supervisor can top the counters back up with
+// exactly its acknowledged contribution: ledger[name] − unacked[name].
+// fn runs on the reader goroutine after the session is replayed; it may
+// call TryIncrement but must not block on the client.
+func WithRestartNotify(fn func(oldEpoch, newEpoch uint64, unacked map[string]uint64)) Option {
+	return func(cl *Client) { cl.restartNotify = fn }
+}
+
 // Client is one session with a counterd server. It is safe for
 // concurrent use by any number of goroutines; all counters obtained
 // from it share its connection. On connection failure the client
@@ -58,8 +94,12 @@ func WithDialer(d func(addr string) (net.Conn, error)) Option {
 // number) and re-registers its outstanding waits (idempotent by
 // monotonicity), so callers just block across the outage.
 type Client struct {
-	addr string
-	dial func(addr string) (net.Conn, error)
+	addr          string
+	dial          func(addr string) (net.Conn, error)
+	boff          backoff // per-outage schedule template (copied by reconnect)
+	retryNotify   func(failures int, err error)
+	restartNotify func(oldEpoch, newEpoch uint64, unacked map[string]uint64)
+	closeCh       chan struct{} // closed by Close; unblocks backoff sleeps
 
 	mu        sync.Mutex
 	flushCond *sync.Cond
@@ -69,7 +109,8 @@ type Client struct {
 	scratch   []byte
 	dirty     bool
 	closed    bool
-	fatal     error // latched increment-overflow error; poisons the client
+	fatal     error  // latched increment-overflow error; poisons the client
+	epoch     uint64 // boot epoch of the server instance last welcomed by
 
 	session  uint64
 	nextSeq  uint64
@@ -126,6 +167,8 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		dial: func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
 		},
+		boff:     backoff{base: defaultBackoffBase, cap: defaultBackoffCap},
+		closeCh:  make(chan struct{}),
 		waits:    make(map[uint64]*wait),
 		calls:    make(map[uint64]*call),
 		counters: make(map[string]*Counter),
@@ -172,13 +215,22 @@ func (cl *Client) connect() error {
 	}
 
 	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	if cl.closed {
+		cl.mu.Unlock()
 		nc.Close()
 		return ErrClosed
 	}
 	cl.nc, cl.br, cl.bw = nc, br, bufio.NewWriter(nc)
 	cl.session = welcome.Session
+	// A changed boot epoch means this is a different server instance:
+	// the old one's acknowledged state is gone. The resume below still
+	// does the right mechanical thing — a fresh instance has lastSeq 0,
+	// so the whole pending tail survives the trim and is re-sent — but
+	// acknowledged increments cannot be recovered here; that is the
+	// restart notification's job (the cluster layer replays its ledger).
+	oldEpoch := cl.epoch
+	cl.epoch = welcome.Epoch
+	restarted := oldEpoch != 0 && welcome.Epoch != oldEpoch
 
 	// Everything the server already applied can be forgotten; the rest
 	// is re-sent in order and deduplicated server-side by sequence.
@@ -189,6 +241,13 @@ func (cl *Client) connect() error {
 		}
 	}
 	cl.pending = trimmed
+	var unacked map[string]uint64
+	if restarted && cl.restartNotify != nil {
+		unacked = make(map[string]uint64)
+		for _, p := range cl.pending {
+			unacked[p.name] += p.amount
+		}
+	}
 	for _, p := range cl.pending {
 		cl.enqueueLocked(&wire.Frame{Op: wire.OpIncrement, Name: p.name, Seq: p.seq, Amount: p.amount})
 	}
@@ -207,7 +266,22 @@ func (cl *Client) connect() error {
 	for _, rc := range cl.calls {
 		cl.enqueueLocked(&rc.frame)
 	}
+	cl.mu.Unlock()
+	if restarted && cl.restartNotify != nil {
+		// Out of the lock: the callback may call back into the client
+		// (TryIncrement to top counters up).
+		cl.restartNotify(oldEpoch, welcome.Epoch, unacked)
+	}
 	return nil
+}
+
+// Epoch returns the boot epoch of the server instance the client last
+// completed a handshake with (zero before the first). It changes only
+// when a reconnect lands on a restarted server; see WithRestartNotify.
+func (cl *Client) Epoch() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.epoch
 }
 
 // Close tears the session down: the connection is closed, both client
@@ -222,6 +296,7 @@ func (cl *Client) Close() error {
 		return nil
 	}
 	cl.closed = true
+	close(cl.closeCh) // unblocks a reconnect backoff sleep immediately
 	if cl.nc != nil {
 		cl.nc.Close()
 	}
@@ -311,8 +386,11 @@ func (cl *Client) readLoop() {
 	}
 }
 
-// reconnect re-establishes the session with exponential backoff,
-// reporting false once the client is closed.
+// reconnect re-establishes the session, sleeping a jittered exponential
+// backoff (see backoff) between attempts, and reports false once the
+// client is closed. The sleep selects against the close channel, so a
+// Close issued mid-backoff returns promptly instead of waiting the
+// window out.
 func (cl *Client) reconnect() bool {
 	cl.mu.Lock()
 	if cl.nc != nil {
@@ -320,7 +398,8 @@ func (cl *Client) reconnect() bool {
 		cl.nc, cl.bw, cl.br = nil, nil, nil
 	}
 	cl.mu.Unlock()
-	backoff := 5 * time.Millisecond
+	b := cl.boff // fresh window per outage
+	failures := 0
 	for {
 		cl.mu.Lock()
 		closed := cl.closed
@@ -328,14 +407,24 @@ func (cl *Client) reconnect() bool {
 		if closed {
 			return false
 		}
-		if err := cl.connect(); err == nil {
+		err := cl.connect()
+		if err == nil {
+			if cl.retryNotify != nil {
+				cl.retryNotify(0, nil)
+			}
 			return true
-		} else if errors.Is(err, ErrClosed) {
+		}
+		if errors.Is(err, ErrClosed) {
 			return false
 		}
-		time.Sleep(backoff)
-		if backoff < 500*time.Millisecond {
-			backoff *= 2
+		failures++
+		if cl.retryNotify != nil {
+			cl.retryNotify(failures, err)
+		}
+		select {
+		case <-time.After(b.next()):
+		case <-cl.closeCh:
+			return false
 		}
 	}
 }

@@ -489,3 +489,168 @@ func TestRemotePredicateWait(t *testing.T) {
 		t.Fatal("predicate wait over remote counters never released")
 	}
 }
+
+// TestCloseDuringBackoffReturnsPromptly is the regression for the
+// unconditional backoff sleep: with a 30-second backoff window and the
+// server permanently gone, Close issued mid-backoff must return in
+// milliseconds (the reader's sleep selects against the close channel),
+// not after the window expires.
+func TestCloseDuringBackoffReturnsPromptly(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New()
+	go s.Serve(lis)
+	failed := make(chan struct{}, 1)
+	cl, err := remote.Dial(lis.Addr().String(),
+		remote.WithBackoff(30*time.Second, 30*time.Second),
+		remote.WithRetryNotify(func(n int, err error) {
+			if n > 0 {
+				select {
+				case failed <- struct{}{}:
+				default:
+				}
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // server gone for good: the client reconnects forever
+	select {
+	case <-failed: // at least one attempt failed; the client is in (or entering) a 30s sleep
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never attempted to reconnect")
+	}
+	start := time.Now()
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("Close during a 30s backoff window took %v, want <10ms", d)
+	}
+}
+
+// TestRetryNotifyCountsAndResets pins the WithRetryNotify contract: a
+// dead link produces calls with consecutive failure counts 1, 2, …, and
+// a successful reconnect produces (0, nil).
+func TestRetryNotifyCountsAndResets(t *testing.T) {
+	addr := startServer(t)
+	p := startProxy(t, addr)
+	type event struct {
+		n   int
+		err error
+	}
+	events := make(chan event, 128)
+	cl, err := remote.Dial(p.lis.Addr().String(),
+		remote.WithBackoff(time.Millisecond, 10*time.Millisecond),
+		remote.WithRetryNotify(func(n int, err error) {
+			select {
+			case events <- event{n, err}:
+			default:
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	p.setDown(true)
+	p.kill()
+	want := 1
+	deadline := time.After(10 * time.Second)
+	for want <= 3 {
+		select {
+		case ev := <-events:
+			if ev.err == nil {
+				t.Fatalf("reconnect reported success with the proxy down (n=%d)", ev.n)
+			}
+			if ev.n != want {
+				t.Fatalf("failure count = %d, want %d (consecutive failures must count up)", ev.n, want)
+			}
+			want++
+		case <-deadline:
+			t.Fatalf("saw %d failure notifications, want 3", want-1)
+		}
+	}
+	p.setDown(false)
+	for {
+		select {
+		case ev := <-events:
+			if ev.err == nil {
+				if ev.n != 0 {
+					t.Fatalf("success notification carried failures=%d, want 0", ev.n)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("reconnect never succeeded after the proxy came back")
+		}
+	}
+}
+
+// TestServerRestartDetected pins the epoch handshake end to end: a
+// client that reconnects to a *restarted* server (same address, fresh
+// instance) must observe the epoch change via WithRestartNotify, keep
+// working against the new instance, and report the new epoch.
+func TestServerRestartDetected(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	s1 := server.New()
+	go s1.Serve(lis)
+
+	restarts := make(chan [2]uint64, 1)
+	cl, err := remote.Dial(addr,
+		remote.WithBackoff(time.Millisecond, 20*time.Millisecond),
+		remote.WithRestartNotify(func(oldE, newE uint64, unacked map[string]uint64) {
+			select {
+			case restarts <- [2]uint64{oldE, newE}:
+			default:
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if got := cl.Epoch(); got != s1.Epoch() {
+		t.Fatalf("Epoch after dial = %d, want the server's %d", got, s1.Epoch())
+	}
+	c := cl.Counter(countertest.FreshName("restart"))
+	c.Increment(3)
+	c.Check(3)
+
+	s1.Close()
+	var lis2 net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		lis2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s2 := server.New()
+	go s2.Serve(lis2)
+	t.Cleanup(func() { s2.Close() })
+
+	select {
+	case ep := <-restarts:
+		if ep[0] != s1.Epoch() || ep[1] != s2.Epoch() {
+			t.Fatalf("restart notify epochs = %v, want [%d %d]", ep, s1.Epoch(), s2.Epoch())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reconnect to a restarted server never fired the restart notification")
+	}
+	if got := cl.Epoch(); got != s2.Epoch() {
+		t.Fatalf("Epoch after restart = %d, want the new instance's %d", got, s2.Epoch())
+	}
+	// The session works against the fresh instance.
+	c2 := cl.Counter(countertest.FreshName("restart2"))
+	c2.Increment(1)
+	c2.Check(1)
+}

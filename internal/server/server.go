@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 
@@ -37,6 +38,7 @@ const ackEvery = 1024
 
 // Server hosts named counters. The zero value is not usable; call New.
 type Server struct {
+	epoch    uint64 // boot identity, sent in every Welcome; see Epoch
 	mu       sync.Mutex
 	counters map[string]*hosted
 	sessions map[uint64]*session
@@ -63,14 +65,28 @@ type session struct {
 	lastSeq uint64
 }
 
-// New returns a server with no counters and no sessions.
+// New returns a server with no counters and no sessions. Each server
+// instance draws a fresh nonzero boot epoch: hosted state (counter
+// values, session dedup tables) lives and dies with the instance, so
+// the epoch is the wire-visible name for "the state you resumed into".
 func New() *Server {
+	epoch := rand.Uint64()
+	for epoch == 0 { // zero is the client's "never connected" sentinel
+		epoch = rand.Uint64()
+	}
 	return &Server{
+		epoch:    epoch,
 		counters: make(map[string]*hosted),
 		sessions: make(map[uint64]*session),
 		conns:    make(map[*conn]struct{}),
 	}
 }
+
+// Epoch returns the instance's boot epoch — the session-resume identity
+// sent in every Welcome. A client that reconnects and receives a
+// different epoch knows its acknowledged state is gone (the node
+// restarted), not merely that the link flapped.
+func (s *Server) Epoch() uint64 { return s.epoch }
 
 // Serve accepts connections on lis until Close (or a fatal listener
 // error), blocking. The listener is adopted: Close closes it.
@@ -315,7 +331,7 @@ func (c *conn) handle(f *wire.Frame) error {
 		last := sess.lastSeq
 		sess.mu.Unlock()
 		c.ackedSeq = last
-		c.send(&wire.Frame{Op: wire.OpWelcome, Session: id, Seq: last})
+		c.send(&wire.Frame{Op: wire.OpWelcome, Session: id, Seq: last, Epoch: c.srv.epoch})
 
 	case wire.OpIncrement:
 		h, err := c.hosted(f.Name)

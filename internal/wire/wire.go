@@ -39,8 +39,9 @@ import (
 
 // Version is the protocol version carried in Hello; the server rejects
 // frames it cannot parse rather than negotiating, so bumping this is a
-// breaking change.
-const Version = 1
+// breaking change. Version 2 added the boot Epoch to Welcome (node
+// identity for the cluster layer's restart detection).
+const Version = 2
 
 // MaxFrame bounds a frame's payload, protecting both sides from a
 // corrupt or hostile length prefix. Counter names are the only variable
@@ -86,7 +87,12 @@ const (
 	// OpWelcome answers OpHello. Session is the (new or resumed)
 	// session id; Seq is the highest Increment sequence the server has
 	// applied for it, so the client re-sends only its unacknowledged
-	// tail.
+	// tail. Epoch identifies this server *instance*: it is drawn at
+	// boot and never changes while the process lives, so a client that
+	// reconnects and sees a different epoch knows the node restarted —
+	// its hosted values and sessions are gone — and can re-resume
+	// beyond the unacked tail (the cluster layer replays its full
+	// per-name contribution ledger; see counter/cluster).
 	OpWelcome Op = 0x81
 	// OpWake resolves the wait with ID: the level is satisfied. Level
 	// echoes the satisfied level so the client can advance its local
@@ -169,6 +175,7 @@ type Frame struct {
 	Op      Op
 	Name    string // counter name (Increment, Check, Reset, Stats)
 	Session uint64 // Hello, Welcome
+	Epoch   uint64 // Welcome: the server instance's boot epoch (node identity)
 	Seq     uint64 // Increment/IncAck sequence; Hello version; Welcome last applied seq
 	ID      uint64 // wait id (Check/Cancel/Wake/Cancelled) or request id (Reset/Stats and replies)
 	Level   uint64 // Check level; Wake satisfied level
@@ -206,6 +213,7 @@ func Append(buf []byte, f *Frame) []byte {
 	case OpWelcome:
 		buf = appendUint(buf, f.Session)
 		buf = appendUint(buf, f.Seq)
+		buf = appendUint(buf, f.Epoch)
 	case OpWake:
 		buf = appendUint(buf, f.ID)
 		buf = appendUint(buf, f.Level)
@@ -268,7 +276,7 @@ func Decode(payload []byte) (Frame, error) {
 	case OpReset, OpStats:
 		f.Name, f.ID = d.string(), d.uint()
 	case OpWelcome:
-		f.Session, f.Seq = d.uint(), d.uint()
+		f.Session, f.Seq, f.Epoch = d.uint(), d.uint(), d.uint()
 	case OpWake:
 		f.ID, f.Level = d.uint(), d.uint()
 	case OpCancelled, OpResetOK:

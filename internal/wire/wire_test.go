@@ -21,7 +21,8 @@ func sampleFrames() []Frame {
 		{Op: OpCancel, ID: 9},
 		{Op: OpReset, Name: "phase", ID: 11},
 		{Op: OpStats, Name: "phase", ID: 12},
-		{Op: OpWelcome, Session: 5, Seq: 40},
+		{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 0xdeadbeef},
+		{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 0},
 		{Op: OpWake, ID: 9, Level: 1 << 40},
 		{Op: OpCancelled, ID: 9},
 		{Op: OpIncAck, Seq: 42},
