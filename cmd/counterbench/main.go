@@ -1,4 +1,4 @@
-// Command counterbench runs the reproduction experiments (E1-E26 in
+// Command counterbench runs the reproduction experiments (E1-E27 in
 // DESIGN.md) and prints their tables, regenerating the contents of
 // EXPERIMENTS.md.
 //

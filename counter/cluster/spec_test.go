@@ -1,0 +1,180 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"monotonic/counter"
+	"monotonic/counter/cluster"
+	"monotonic/counter/wait"
+)
+
+// TestSpecWaitColocatedRoutesServerSide: a predicate whose counters all
+// hash to one member ships to that member as a single registration —
+// External with zero local sentinels — and a flip from another cluster
+// client releases it.
+func TestSpecWaitColocatedRoutesServerSide(t *testing.T) {
+	addrs, _ := startNodes(t, 2)
+	c := dialCluster(t, addrs)
+	other := dialCluster(t, addrs)
+
+	na := nameOn(t, c, addrs[0], "co")
+	nb := nameOn(t, c, addrs[0], "co")
+	cond := wait.Sum(c.Counter(na), c.Counter(nb)).AtLeast(10)
+
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond.Stats().External && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := cond.Stats(); !st.External || st.Armed != 0 {
+		t.Fatalf("stats = %+v, want External with zero local sentinels", st)
+	}
+	other.Counter(na).Increment(4)
+	other.Counter(nb).Increment(6)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Wait = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("colocated spec wait never released")
+	}
+}
+
+// TestSpecWaitShardedFallsBack: counters on different members cannot
+// ship as one registration; the combinator must fall back to
+// per-counter sentinels and still work.
+func TestSpecWaitShardedFallsBack(t *testing.T) {
+	addrs, _ := startNodes(t, 2)
+	c := dialCluster(t, addrs)
+	other := dialCluster(t, addrs)
+
+	na := nameOn(t, c, addrs[0], "sh")
+	nb := nameOn(t, c, addrs[1], "sh")
+	cond := wait.Sum(c.Counter(na), c.Counter(nb)).AtLeast(10)
+
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	time.Sleep(30 * time.Millisecond)
+	if st := cond.Stats(); st.External {
+		t.Fatalf("stats = %+v: sharded counters must not route as one spec", st)
+	}
+	other.Counter(na).Increment(4)
+	other.Counter(nb).Increment(6)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Wait = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharded predicate wait never released")
+	}
+}
+
+// TestParkedWaitForSurvivesFailover is the regression for predicate
+// waits racing failover: a spec parked on the member about to die must
+// be re-encoded and re-routed to the ring successor — still ONE
+// server-side registration, not a degradation to per-counter sentinels
+// — and release once the ledger replay plus the remaining increments
+// land there.
+func TestParkedWaitForSurvivesFailover(t *testing.T) {
+	addrs, kills := startNodes(t, 2)
+	c := dialCluster(t, addrs,
+		cluster.WithFailAfter(3),
+		cluster.WithBackoff(time.Millisecond, 5*time.Millisecond))
+
+	na := nameOn(t, c, addrs[0], "pfo")
+	nb := nameOn(t, c, addrs[0], "pfo")
+	ca, cb := c.Counter(na), c.Counter(nb)
+
+	// Ledger state the failover must carry to the successor.
+	ca.Increment(30)
+	cb.Increment(30)
+	ca.Check(30)
+	cb.Check(30) // applied on the doomed node before it dies
+
+	cond := wait.Sum(ca, cb).AtLeast(100)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond.Stats().External && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !cond.Stats().External {
+		t.Fatal("spec wait never routed server-side before the failover")
+	}
+
+	kills[0]()
+	for {
+		if live := c.Live(); len(live) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node death never detected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Both names now home on the survivor; the supervisor must have
+	// re-armed there rather than degrading to sentinels.
+	rearm := time.Now().Add(5 * time.Second)
+	for !cond.Stats().External && time.Now().Before(rearm) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := cond.Stats(); !st.External {
+		t.Fatalf("stats = %+v after failover: spec not re-routed to the successor", st)
+	}
+
+	// The replayed 60 plus these 40 flip the predicate on the successor.
+	ca.Increment(40)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Wait = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked WaitFor never released after failover re-route")
+	}
+}
+
+// TestSpecWaitClusterCloseDegrades: closing the cluster under a routed
+// predicate must not strand the waiter — the supervisor finds no route,
+// degrades, and the waiter stays cancellable.
+func TestSpecWaitClusterCloseDegrades(t *testing.T) {
+	addrs, _ := startNodes(t, 2)
+	c := dialCluster(t, addrs)
+	na := nameOn(t, c, addrs[0], "ccd")
+	nb := nameOn(t, c, addrs[0], "ccd")
+	cond := wait.Sum(c.Counter(na), c.Counter(nb)).AtLeast(10)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond.Stats().External && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	for cond.Stats().External && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := cond.Stats(); st.External {
+		t.Fatalf("stats = %+v: Close must degrade the routed spec", st)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+// The cluster counter keeps satisfying the predicate layer's optional
+// interfaces.
+var _ interface {
+	counter.Interface
+	Name() string
+	Watermark() uint64
+} = (*cluster.Counter)(nil)

@@ -34,6 +34,26 @@ func RunPredicates(t *testing.T, open func(t *testing.T) counter.Interface) {
 	t.Run("ImmediateAndCancelled", func(t *testing.T) { testImmediateAndCancelled(t, open(t), open(t)) })
 	t.Run("FanOutSharedCond", func(t *testing.T) { testFanOutSharedCond(t, open(t), open(t)) })
 	t.Run("DisarmOnCancel", func(t *testing.T) { testDisarmOnCancel(t, open(t), open(t)) })
+	t.Run("SpecRecorded", func(t *testing.T) { testSpecRecorded(t, open(t), open(t)) })
+}
+
+// testSpecRecorded pins the serializable descriptor every combinator
+// must now carry: whatever the counter implementation, the built Cond
+// reports a wait.Spec faithful to the expression — the contract hosts
+// (remote clients, clusters) route on.
+func testSpecRecorded(t *testing.T, a, b counter.Interface) {
+	sum := wait.Sum(a, b).AtLeast(10)
+	if s := sum.Spec(); s.Kind != wait.KindSum || s.Target != 10 || len(s.Counters) != 2 {
+		t.Fatalf("Sum(a, b).AtLeast(10) spec = %+v", s)
+	}
+	kofn := wait.KOfN([]counter.Interface{a, b}, 2, 3)
+	ks := kofn.Spec()
+	if ks.Kind != wait.KindThreshold || ks.K != 2 || len(ks.Levels) != 2 || ks.Levels[0] != 3 || ks.Levels[1] != 3 {
+		t.Fatalf("KOfN spec = %+v", ks)
+	}
+	if kofn.Spec().String() == "" {
+		t.Fatal("spec String empty")
+	}
 }
 
 func predicateWaitNil(t *testing.T, errc <-chan error, what string) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"monotonic/counter"
+	cwait "monotonic/counter/wait"
 	"monotonic/internal/wire"
 )
 
@@ -242,6 +243,16 @@ func (c *Counter) checkCancelled(level uint64, ctxErr error) error {
 	_, w := c.checkChan(level)
 	return c.cancelWait(w, ctxErr)
 }
+
+// Name returns the counter's hosted name — its identity on the server
+// and across clients, and the name predicate descriptors (wait.Spec)
+// carry over the wire.
+func (c *Counter) Name() string { return c.name }
+
+// SpecHost nominates this counter's Client as the evaluator for whole
+// predicates over it: counter/wait routes a predicate server-side when
+// every watched counter nominates the same host. See Client.ArmSpec.
+func (c *Counter) SpecHost() cwait.SpecHost { return c.cl }
 
 // Watermark returns the client's satisfied watermark: the highest level
 // this client has proof the hosted value reached. It is a monotone

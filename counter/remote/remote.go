@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"monotonic/counter"
@@ -48,6 +49,19 @@ type Option func(*Client)
 // it for TLS or unix sockets.
 func WithDialer(d func(addr string) (net.Conn, error)) Option {
 	return func(cl *Client) { cl.dial = d }
+}
+
+// WithProtocol pins the wire protocol version the client speaks, for
+// interop testing and conservative rollouts: WithProtocol(2) makes the
+// client indistinguishable from a pre-v3 build (no feature bits
+// requested, predicate waits evaluated client-side) even against a v3
+// server. v must be within [wire.MinVersion, wire.Version]; the default
+// is wire.Version.
+func WithProtocol(v uint64) Option {
+	if v < wire.MinVersion || v > wire.Version {
+		panic(fmt.Sprintf("remote: protocol version %d outside %d..%d", v, wire.MinVersion, wire.Version))
+	}
+	return func(cl *Client) { cl.proto = v }
 }
 
 // WithBackoff configures the reconnect schedule: the first retry after
@@ -96,6 +110,7 @@ func WithRestartNotify(fn func(oldEpoch, newEpoch uint64, unacked map[string]uin
 type Client struct {
 	addr          string
 	dial          func(addr string) (net.Conn, error)
+	proto         uint64  // wire version spoken at Hello (WithProtocol; default wire.Version)
 	boff          backoff // per-outage schedule template (copied by reconnect)
 	retryNotify   func(failures int, err error)
 	restartNotify func(oldEpoch, newEpoch uint64, unacked map[string]uint64)
@@ -111,14 +126,21 @@ type Client struct {
 	closed    bool
 	fatal     error  // latched increment-overflow error; poisons the client
 	epoch     uint64 // boot epoch of the server instance last welcomed by
+	features  uint64 // feature bits from the last Welcome (zero on v2 sessions)
 
-	session  uint64
-	nextSeq  uint64
-	nextID   uint64
-	pending  []pendingInc // increments sent but not yet acknowledged, ascending by seq
-	waits    map[uint64]*wait
-	calls    map[uint64]*call
-	counters map[string]*Counter
+	session   uint64
+	nextSeq   uint64
+	nextID    uint64
+	pending   []pendingInc // increments sent but not yet acknowledged, ascending by seq
+	waits     map[uint64]*wait
+	specWaits map[uint64]*specWait // outstanding OpWaitFor predicate registrations
+	calls     map[uint64]*call
+	counters  map[string]*Counter
+
+	// Lifetime frame tallies (see WireStats): enqueued to and received
+	// from the server, across reconnects.
+	framesSent atomic.Uint64
+	framesRecv atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -167,11 +189,13 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		dial: func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
 		},
-		boff:     backoff{base: defaultBackoffBase, cap: defaultBackoffCap},
-		closeCh:  make(chan struct{}),
-		waits:    make(map[uint64]*wait),
-		calls:    make(map[uint64]*call),
-		counters: make(map[string]*Counter),
+		proto:     wire.Version,
+		boff:      backoff{base: defaultBackoffBase, cap: defaultBackoffCap},
+		closeCh:   make(chan struct{}),
+		waits:     make(map[uint64]*wait),
+		specWaits: make(map[uint64]*specWait),
+		calls:     make(map[uint64]*call),
+		counters:  make(map[string]*Counter),
 	}
 	cl.flushCond = sync.NewCond(&cl.mu)
 	for _, o := range opts {
@@ -198,7 +222,7 @@ func (cl *Client) connect() error {
 	if err != nil {
 		return err
 	}
-	hello := wire.Append(nil, &wire.Frame{Op: wire.OpHello, Session: sess, Seq: wire.Version})
+	hello := wire.Append(nil, &wire.Frame{Op: wire.OpHello, Session: sess, Seq: cl.proto})
 	if _, err := nc.Write(hello); err != nil {
 		nc.Close()
 		return err
@@ -230,6 +254,7 @@ func (cl *Client) connect() error {
 	// restart notification's job (the cluster layer replays its ledger).
 	oldEpoch := cl.epoch
 	cl.epoch = welcome.Epoch
+	cl.features = welcome.Features
 	restarted := oldEpoch != 0 && welcome.Epoch != oldEpoch
 
 	// Everything the server already applied can be forgotten; the rest
@@ -263,10 +288,24 @@ func (cl *Client) connect() error {
 		}
 		cl.enqueueLocked(&wire.Frame{Op: wire.OpCheck, Name: w.ctr.name, ID: w.id, Level: w.level})
 	}
-	for _, rc := range cl.calls {
-		cl.enqueueLocked(&rc.frame)
+	// Predicate registrations replay like waits — the re-sent OpWaitFor
+	// is idempotent by monotonicity. If the reconnect landed on a server
+	// without the feature (downgrade across a failover), the
+	// registrations cannot be honoured: they degrade — fire(false) tells
+	// each predicate Cond to fall back to per-counter sentinels.
+	var degraded []*specWait
+	for id, sw := range cl.specWaits {
+		if cl.features&wire.FeatureWaitFor == 0 {
+			delete(cl.specWaits, id)
+			degraded = append(degraded, sw)
+			continue
+		}
+		cl.enqueueLocked(&sw.frame)
 	}
 	cl.mu.Unlock()
+	for _, sw := range degraded {
+		sw.fire(false)
+	}
 	if restarted && cl.restartNotify != nil {
 		// Out of the lock: the callback may call back into the client
 		// (TryIncrement to top counters up).
@@ -304,12 +343,22 @@ func (cl *Client) Close() error {
 		delete(cl.waits, id)
 		w.ch <- ErrClosed
 	}
+	var orphaned []*specWait
+	for id, sw := range cl.specWaits {
+		delete(cl.specWaits, id)
+		orphaned = append(orphaned, sw)
+	}
 	for id, rc := range cl.calls {
 		delete(cl.calls, id)
 		rc.ch <- callResult{err: ErrClosed}
 	}
 	cl.flushCond.Broadcast()
 	cl.mu.Unlock()
+	// Outside cl.mu: degrade-fire each orphaned predicate registration so
+	// its Cond stops counting on a server answer that will never come.
+	for _, sw := range orphaned {
+		sw.fire(false)
+	}
 	cl.wg.Wait()
 	return nil
 }
@@ -338,6 +387,7 @@ func (cl *Client) enqueueLocked(f *wire.Frame) {
 	if cl.nc == nil {
 		return
 	}
+	cl.framesSent.Add(1)
 	cl.scratch = wire.Append(cl.scratch[:0], f)
 	cl.bw.Write(cl.scratch) // errors latch in bw; the reader notices the dead link
 	cl.dirty = true
@@ -382,6 +432,7 @@ func (cl *Client) readLoop() {
 			}
 			continue
 		}
+		cl.framesRecv.Add(1)
 		cl.dispatch(&f)
 	}
 }
@@ -436,6 +487,11 @@ func (cl *Client) dispatch(f *wire.Frame) {
 		cl.mu.Lock()
 		w := cl.waits[f.ID]
 		delete(cl.waits, f.ID)
+		var sw *specWait
+		if w == nil {
+			sw = cl.specWaits[f.ID]
+			delete(cl.specWaits, f.ID)
+		}
 		cl.mu.Unlock()
 		if w != nil {
 			w.ctr.noteSatisfied(f.Level)
@@ -443,6 +499,10 @@ func (cl *Client) dispatch(f *wire.Frame) {
 			w.ctr.waitNanos.Add(uint64(time.Since(w.start)))
 			w.ctr.emit(counter.EventWake, f.Level)
 			w.ch <- nil
+		}
+		if sw != nil {
+			// The server observed the predicate holding: authoritative.
+			sw.fire(true)
 		}
 	case wire.OpCancelled:
 		cl.mu.Lock()
@@ -453,6 +513,8 @@ func (cl *Client) dispatch(f *wire.Frame) {
 			w.ctr.rtts.Add(1)
 			w.ch <- w.ctxErr
 		}
+		// A cancelled predicate registration was already forgotten when
+		// the cancel was sent; its confirmation needs no action here.
 	case wire.OpIncAck:
 		cl.mu.Lock()
 		acked := map[*Counter]bool{}

@@ -1,0 +1,141 @@
+package wait_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"monotonic/counter"
+	"monotonic/counter/wait"
+)
+
+// hosted wraps an in-process counter with a wire name and a SpecHost
+// nomination, standing in for a remote counter whose server can
+// evaluate predicates.
+type hosted struct {
+	*counter.Counter
+	name string
+	host wait.SpecHost
+}
+
+func (h *hosted) Name() string            { return h.name }
+func (h *hosted) SpecHost() wait.SpecHost { return h.host }
+
+// recordingHost accepts every registration and remembers the specs.
+type recordingHost struct {
+	mu    sync.Mutex
+	specs []wait.Spec
+	fires []func(bool)
+}
+
+func (r *recordingHost) ArmSpec(spec wait.Spec, fire func(satisfied bool)) (func() bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.specs = append(r.specs, spec)
+	r.fires = append(r.fires, fire)
+	return func() bool { return true }, true
+}
+
+func TestSpecRecordedOnCond(t *testing.T) {
+	a, b := counter.New(), counter.New()
+	cond := wait.Sum(a, b).AtLeast(42)
+	spec := cond.Spec()
+	if spec.Kind != wait.KindSum || spec.Target != 42 || len(spec.Counters) != 2 {
+		t.Fatalf("Sum spec = %+v", spec)
+	}
+	cond = wait.KOfN([]counter.Interface{a, b}, 1, 7)
+	spec = cond.Spec()
+	if spec.Kind != wait.KindThreshold || spec.K != 1 || len(spec.Levels) != 2 || spec.Levels[0] != 7 {
+		t.Fatalf("KOfN spec = %+v", spec)
+	}
+	cond = wait.Min(a, b).AtLeast(9)
+	spec = cond.Spec()
+	if spec.Kind != wait.KindThreshold || spec.K != 2 || spec.Levels[1] != 9 {
+		t.Fatalf("Min spec = %+v", spec)
+	}
+}
+
+func TestSpecNamesAndEncodable(t *testing.T) {
+	host := &recordingHost{}
+	a := &hosted{Counter: counter.New(), name: "a", host: host}
+	b := &hosted{Counter: counter.New(), name: "b", host: host}
+	anon := counter.New()
+
+	spec := wait.Sum(a, b).AtLeast(10).Spec()
+	names, ok := spec.Names()
+	if !ok || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v, %v", names, ok)
+	}
+	if !spec.Encodable() {
+		t.Fatal("named sum spec not encodable")
+	}
+
+	spec = wait.Sum(a, anon).AtLeast(10).Spec()
+	if _, ok := spec.Names(); ok {
+		t.Fatal("Names() ok with an anonymous counter")
+	}
+	if spec.Encodable() {
+		t.Fatal("spec with an anonymous counter is encodable")
+	}
+
+	if (wait.Spec{}).Encodable() {
+		t.Fatal("zero spec is encodable")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	host := &recordingHost{}
+	a := &hosted{Counter: counter.New(), name: "jobs", host: host}
+	b := &hosted{Counter: counter.New(), name: "retries", host: host}
+	if got := wait.Sum(a, b).AtLeast(100).Spec().String(); got != "sum(jobs, retries) >= 100" {
+		t.Fatalf("sum String() = %q", got)
+	}
+	got := wait.KOfN([]counter.Interface{a, b}, 1, 7).Spec().String()
+	if got != "1 of (jobs>=7, retries>=7)" {
+		t.Fatalf("threshold String() = %q", got)
+	}
+	if got := wait.AtLeast(counter.New(), 3).Spec().String(); !strings.Contains(got, "?>=3") {
+		t.Fatalf("anonymous String() = %q", got)
+	}
+}
+
+// TestSpecRoutesToCommonHost: counters nominating one host get a single
+// external registration instead of sentinels; mixed hosts (or any
+// host-less counter) evaluate client-side.
+func TestSpecRoutesToCommonHost(t *testing.T) {
+	host := &recordingHost{}
+	a := &hosted{Counter: counter.New(), name: "a", host: host}
+	b := &hosted{Counter: counter.New(), name: "b", host: host}
+
+	cond := wait.Sum(a, b).AtLeast(5)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc)
+	st := cond.Stats()
+	if !st.External || st.Armed != 0 {
+		t.Fatalf("stats with common host = %+v, want external registration, zero sentinels", st)
+	}
+	host.mu.Lock()
+	if len(host.specs) != 1 || host.specs[0].String() != "sum(a, b) >= 5" {
+		t.Fatalf("host saw specs %v", host.specs)
+	}
+	fire := host.fires[0]
+	host.mu.Unlock()
+	fire(true)
+	waitNil(t, errc)
+
+	// Different hosts: no common host, classic sentinels.
+	other := &recordingHost{}
+	c := &hosted{Counter: counter.New(), name: "c", host: other}
+	cond = wait.Sum(a, c).AtLeast(5)
+	errc = make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc)
+	if st := cond.Stats(); st.External {
+		t.Fatalf("stats with split hosts = %+v, want no external registration", st)
+	}
+	a.Increment(3)
+	c.Increment(2)
+	waitNil(t, errc)
+}

@@ -35,7 +35,29 @@ import (
 // that is never waited on costs nothing, and one whose waiters all
 // cancel leaves no trace on its counters.
 type Cond struct {
-	pc *predicate.Cond
+	pc   *predicate.Cond
+	spec Spec
+}
+
+// Spec returns the Cond's predicate descriptor — the canonical
+// serializable form the combinator recorded when it built the Cond.
+func (c *Cond) Spec() Spec { return c.spec }
+
+// newCond builds a Cond for spec and pred, routing evaluation
+// server-side when possible: if the spec is wire-encodable and every
+// counter nominates the same SpecHost, the Cond arms one registration
+// with that host instead of per-counter sentinels (falling back to
+// sentinels if the host refuses or dies — see predicate.External).
+// Otherwise evaluation is classic client-side sentinels.
+func newCond(spec Spec, pred predicate.Pred) *Cond {
+	pcs := adaptAll(spec.Counters)
+	if host, ok := spec.commonHost(); ok {
+		ext := func(fire func(satisfied bool)) (func() bool, bool) {
+			return host.ArmSpec(spec, fire)
+		}
+		return &Cond{pc: predicate.NewCondExternal(pred, ext, pcs...), spec: spec}
+	}
+	return &Cond{pc: predicate.NewCond(pred, pcs...), spec: spec}
 }
 
 // Wait blocks until the predicate holds or ctx is cancelled, making
@@ -71,11 +93,12 @@ func (c *Cond) Done() <-chan struct{} { return c.pc.Done() }
 // machinery has paid. Arms scales with watched counters and frontier
 // moves, never with the number of waiters.
 type Stats struct {
-	Fires     uint64 // sentinel hook fires (re-evaluation kicks)
-	Arms      uint64 // sentinel registrations, total
+	Fires     uint64 // sentinel/external hook fires (re-evaluation kicks)
+	Arms      uint64 // sentinel + external registrations, total
 	Reparks   uint64 // registrations beyond each counter's first
 	Armed     int    // sentinels currently armed
 	Waiters   int    // goroutines currently blocked in Wait
+	External  bool   // evaluation is currently parked server-side (one registration)
 	Satisfied bool
 }
 
@@ -88,6 +111,7 @@ func (c *Cond) Stats() Stats {
 		Reparks:   s.Reparks,
 		Armed:     s.Armed,
 		Waiters:   s.Waiters,
+		External:  s.External,
 		Satisfied: s.Satisfied,
 	}
 }
@@ -97,25 +121,26 @@ var _ counter.Waitable = (*Cond)(nil)
 
 // SumExpr is the sum of a fixed set of counters, ready to be compared
 // against a target. Built by Sum.
-type SumExpr struct{ cs []predicate.Counter }
+type SumExpr struct{ cs []counter.Interface }
 
 // Sum begins a predicate over the sum of the given counters' values.
-func Sum(cs ...counter.Interface) SumExpr { return SumExpr{cs: adaptAll(cs)} }
+func Sum(cs ...counter.Interface) SumExpr { return SumExpr{cs: cs} }
 
 // AtLeast returns the condition "the counters' values sum to at least
 // target". The sum saturates rather than wrapping, so overflow can only
 // make the condition hold earlier.
 func (s SumExpr) AtLeast(target uint64) *Cond {
-	return &Cond{pc: predicate.NewCond(predicate.SumAtLeast(target), s.cs...)}
+	spec := Spec{Kind: KindSum, Counters: s.cs, Target: target}
+	return newCond(spec, predicate.SumAtLeast(target))
 }
 
 // MinExpr is the minimum of a fixed set of counters, ready to be
 // compared against a level. Built by Min.
-type MinExpr struct{ cs []predicate.Counter }
+type MinExpr struct{ cs []counter.Interface }
 
 // Min begins a predicate over the minimum of the given counters'
 // values.
-func Min(cs ...counter.Interface) MinExpr { return MinExpr{cs: adaptAll(cs)} }
+func Min(cs ...counter.Interface) MinExpr { return MinExpr{cs: cs} }
 
 // AtLeast returns the condition "every counter's value is at least
 // level" — a join: it holds once the slowest counter arrives.
@@ -124,7 +149,8 @@ func (m MinExpr) AtLeast(level uint64) *Cond {
 	for i := range levels {
 		levels[i] = level
 	}
-	return &Cond{pc: predicate.NewCond(predicate.Thresholds(levels, len(levels)), m.cs...)}
+	spec := Spec{Kind: KindThreshold, Counters: m.cs, Levels: levels, K: len(levels)}
+	return newCond(spec, predicate.Thresholds(levels, len(levels)))
 }
 
 // AtLeast returns the condition "c's value is at least level" — the
@@ -142,7 +168,8 @@ func KOfN(cs []counter.Interface, k int, threshold uint64) *Cond {
 	for i := range levels {
 		levels[i] = threshold
 	}
-	return &Cond{pc: predicate.NewCond(predicate.Thresholds(levels, k), adaptAll(cs)...)}
+	spec := Spec{Kind: KindThreshold, Counters: cs, Levels: levels, K: k}
+	return newCond(spec, predicate.Thresholds(levels, k))
 }
 
 // sentinelCounter is the native predicate surface: the facade types,

@@ -1,4 +1,4 @@
-// Package experiments implements every reproduction experiment E1-E26
+// Package experiments implements every reproduction experiment E1-E27
 // from DESIGN.md as a named, runnable unit producing harness tables. The
 // cmd/counterbench binary runs them; EXPERIMENTS.md records their output.
 //
@@ -26,7 +26,7 @@ type Config struct {
 
 // Experiment is one reproducible unit.
 type Experiment struct {
-	ID    string // "E1".."E26"
+	ID    string // "E1".."E27"
 	Title string
 	// Paper states what the paper claims or shows (the target).
 	Paper string
@@ -45,7 +45,7 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns every experiment sorted by ID (E1, E2, ... E26).
+// All returns every experiment sorted by ID (E1, E2, ... E27).
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {

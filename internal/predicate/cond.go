@@ -37,6 +37,20 @@ type Cond struct {
 	vals      []uint64 // scratch: last-read bounds
 	fronts    []uint64 // scratch: frontier levels
 
+	// cbs holds callbacks registered with Arm, keyed for cancellation;
+	// an armed callback counts as a waiter for keep-armed purposes.
+	cbs  map[uint64]func()
+	cbID uint64
+
+	// ext, when non-nil, is the external arming strategy: one
+	// registration with a remote evaluator replaces the per-counter
+	// sentinels (see NewCondExternal). Cleared permanently when the
+	// host refuses or degrades.
+	ext       External
+	extArmed  bool
+	extCancel func() bool
+	extGen    uint64 // registration generation, so a stale fire cannot clobber a newer one
+
 	// fires counts sentinel hook fires — the kicks delivered on wake
 	// paths. Atomic: it is the only Cond state a signaller touches.
 	fires atomic.Uint64
@@ -77,6 +91,45 @@ func NewCond(pred Pred, counters ...Counter) *Cond {
 	}
 }
 
+// External is an alternative arming strategy: instead of parking one
+// sentinel per watched counter at pigeonhole frontiers, the Cond makes
+// a single registration with an external evaluator (a counterd holding
+// every watched counter) that watches the whole predicate. The host
+// must evaluate at registration time and fire if the predicate already
+// holds — a registration must never lose a wake — and must eventually
+// call fire exactly once unless cancel prevents it.
+//
+// fire(true) is authoritative satisfaction: the host observed the
+// predicate holding over values at least as large as every local lower
+// bound, and monotonicity makes that terminal. fire(false) means the
+// registration died without an answer (connection lost, host
+// degraded); the Cond then falls back to per-counter sentinels for the
+// rest of its life. fire may be called from any goroutine and must not
+// block; cancel reports whether fire was prevented.
+//
+// Both the strategy itself and the cancel it returns are invoked with
+// the Cond's internal lock held — they sit exactly where Sentinel and
+// its cancel sit in NewCond's strategy — so they must not block on
+// network round trips (enqueue and return) and must not call back into
+// the Cond.
+type External func(fire func(satisfied bool)) (cancel func() bool, ok bool)
+
+// NewCondExternal is NewCond with an external arming strategy: while
+// ext is willing, the Cond parks one remote registration instead of
+// len(counters) sentinels, and frontier moves cost nothing locally.
+// Local evaluation still runs first on every Wait/Poll — a predicate
+// already satisfied by the counters' own lower bounds settles without
+// consulting ext — so satisfied-beats-cancelled determinism is
+// unchanged from NewCond.
+func NewCondExternal(pred Pred, ext External, counters ...Counter) *Cond {
+	if ext == nil {
+		panic("predicate: NewCondExternal requires an external strategy")
+	}
+	c := NewCond(pred, counters...)
+	c.ext = ext
+	return c
+}
+
 // fire is the sentinel hook shared by every watched counter: it runs on
 // the waking goroutine with no locks held, so it only records the kick
 // and hands re-evaluation to a short-lived goroutine — the signaller's
@@ -99,23 +152,67 @@ func (c *Cond) kick() {
 	c.mu.Unlock()
 }
 
-// satisfyLocked settles the Cond: cancel whatever is still armed and
-// release every waiter with one channel close. Called with mu held.
+// extKick applies an external registration's answer; like kick it runs
+// on a short-lived goroutine spawned by the fire hook, off the host's
+// delivery path. A satisfied fire settles the Cond no matter how old
+// the registration is — the host observed the predicate holding over
+// values dominating every local lower bound, and monotone truth never
+// expires. An unsatisfied fire (registration died without an answer)
+// only acts if it belongs to the current registration: it abandons the
+// external strategy for good and falls back to sentinels for any wait
+// still in progress. A stale unsatisfied fire — a cancelled
+// registration's last breath racing a newer one — is dropped.
+func (c *Cond) extKick(gen uint64, satisfied bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.satisfied {
+		return
+	}
+	if satisfied {
+		c.satisfyLocked()
+		return
+	}
+	if gen != c.extGen || !c.extArmed {
+		return
+	}
+	c.extArmed = false
+	c.extCancel = nil
+	c.ext = nil
+	if c.started {
+		c.evaluateLocked()
+	}
+}
+
+// satisfyLocked settles the Cond: cancel whatever is still armed,
+// release every waiter with one channel close, and run the armed
+// callbacks. Called with mu held; callbacks therefore run under the
+// Cond's lock and must honour the Arm contract (fast, no re-entry).
 func (c *Cond) satisfyLocked() {
 	c.disarmLocked()
 	c.satisfied = true
 	close(c.done)
+	for id, fn := range c.cbs {
+		delete(c.cbs, id)
+		fn()
+	}
 }
 
-// disarmLocked cancels every armed sentinel. A sentinel that already
-// fired reports false from cancel, which is fine — its hook is spent
-// and its node accounting already drained. Called with mu held.
+// disarmLocked cancels every armed sentinel and any external
+// registration. A sentinel that already fired reports false from
+// cancel, which is fine — its hook is spent and its node accounting
+// already drained. Called with mu held.
 func (c *Cond) disarmLocked() {
 	for i := range c.armed {
 		if c.armed[i].on {
 			c.armed[i].on = false
 			c.armed[i].cancel()
 		}
+	}
+	if c.extArmed {
+		c.extArmed = false
+		cancel := c.extCancel
+		c.extCancel = nil
+		cancel()
 	}
 }
 
@@ -136,6 +233,34 @@ func (c *Cond) disarmLocked() {
 // not-armed), which strictly raises the next pass's bounds, so it
 // terminates.
 func (c *Cond) evaluateLocked() {
+	// External strategy: one remote registration replaces the whole
+	// sentinel set, and — because the registration watches the complete
+	// predicate, not a frontier slice of it — it never needs re-parking:
+	// once armed, every future evaluation happens at the host. Local
+	// bounds are still consulted first so an already-satisfied predicate
+	// settles without a registration.
+	if c.ext != nil {
+		if c.pred.Holds(c.readLocked()) {
+			c.satisfyLocked()
+			return
+		}
+		if c.extArmed {
+			return
+		}
+		c.extGen++
+		gen := c.extGen
+		fire := func(satisfied bool) {
+			c.fires.Add(1)
+			go c.extKick(gen, satisfied)
+		}
+		if cancel, ok := c.ext(fire); ok {
+			c.extArmed = true
+			c.extCancel = cancel
+			c.arms++
+			return
+		}
+		c.ext = nil // host refused: per-counter sentinels from here on
+	}
 	for {
 		c.disarmLocked()
 		for i, ctr := range c.cs {
@@ -222,14 +347,65 @@ func (c *Cond) Wait(ctx context.Context) error {
 		if c.satisfied {
 			return nil // satisfaction and cancellation raced: satisfied wins
 		}
-		if c.waiters == 0 {
+		if c.waiters == 0 && len(c.cbs) == 0 {
 			// Last waiter out turns off the lights: no sentinel stays
-			// parked for a wait nobody is waiting on.
+			// parked for a wait nobody is waiting on. An armed callback
+			// counts as a waiter — it represents a remote session still
+			// blocked on this predicate.
 			c.disarmLocked()
 			c.started = false
 		}
 		return ctx.Err()
 	}
+}
+
+// Arm registers fn to run exactly once when the Cond settles, without
+// parking a goroutine — the callback analogue of Wait, built for the
+// counterd dispatcher, where one parked Cond entry must stand in for a
+// whole remote session's wait. Arm evaluates immediately: if the
+// predicate already holds (settling the Cond if needed) it returns
+// (nil, false) and fn will never run — the caller answers the waiter
+// directly. Otherwise it returns (cancel, true); fn runs on the
+// satisfying goroutine with the Cond's internal lock held, so it must
+// not block and must not call back into the Cond (enqueue the wake and
+// return — the same discipline as a sentinel hook). cancel reports
+// whether fn was prevented from running; a cancelled callback never
+// fires. While any armed callback remains, the Cond keeps its
+// sentinels parked even if every Wait goroutine has left.
+func (c *Cond) Arm(fn func()) (cancel func() bool, armed bool) {
+	c.mu.Lock()
+	if !c.satisfied {
+		if !c.started {
+			c.started = true
+			c.evaluateLocked()
+		} else if c.pred.Holds(c.readLocked()) {
+			c.satisfyLocked()
+		}
+	}
+	if c.satisfied {
+		c.mu.Unlock()
+		return nil, false
+	}
+	if c.cbs == nil {
+		c.cbs = make(map[uint64]func())
+	}
+	id := c.cbID
+	c.cbID++
+	c.cbs[id] = fn
+	c.mu.Unlock()
+	return func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.cbs[id]; !ok {
+			return false // already ran (satisfaction drained it) or already cancelled
+		}
+		delete(c.cbs, id)
+		if c.waiters == 0 && len(c.cbs) == 0 && c.started && !c.satisfied {
+			c.disarmLocked()
+			c.started = false
+		}
+		return true
+	}, true
 }
 
 // readLocked refreshes and returns the value bounds. Called with mu
@@ -271,11 +447,13 @@ func (c *Cond) Done() <-chan struct{} { return c.done }
 // CondStats is a snapshot of a Cond's mechanism counters, for tests and
 // the E24 experiment.
 type CondStats struct {
-	Fires     uint64 // sentinel hook fires (re-evaluation kicks)
-	Arms      uint64 // sentinel registrations, total
+	Fires     uint64 // sentinel/external hook fires (re-evaluation kicks)
+	Arms      uint64 // sentinel + external registrations, total
 	Reparks   uint64 // registrations beyond each counter's first — frontier moves
 	Armed     int    // sentinels currently armed
 	Waiters   int    // goroutines currently blocked in Wait
+	Hooks     int    // callbacks currently armed via Arm
+	External  bool   // an external registration is currently armed
 	Satisfied bool
 }
 
@@ -288,6 +466,8 @@ func (c *Cond) Stats() CondStats {
 		Arms:      c.arms,
 		Reparks:   c.reparks,
 		Waiters:   c.waiters,
+		Hooks:     len(c.cbs),
+		External:  c.extArmed,
 		Satisfied: c.satisfied,
 	}
 	for i := range c.armed {

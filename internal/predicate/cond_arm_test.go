@@ -1,0 +1,351 @@
+package predicate_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"monotonic/internal/core"
+	"monotonic/internal/predicate"
+)
+
+// --- Arm: the goroutine-free callback analogue of Wait -------------------
+
+func TestArmFiresOnSatisfaction(t *testing.T) {
+	a, b := core.New(), core.New()
+	cond := predicate.NewCond(predicate.SumAtLeast(10), a, b)
+	var fired atomic.Int32
+	cancel, armed := cond.Arm(func() { fired.Add(1) })
+	if !armed {
+		t.Fatal("Arm on an unsatisfied predicate reported not armed")
+	}
+	if cancel == nil {
+		t.Fatal("Arm returned a nil cancel")
+	}
+	a.Increment(4)
+	b.Increment(5)
+	time.Sleep(10 * time.Millisecond)
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("callback fired %d times below target", n)
+	}
+	a.Increment(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("callback fired %d times, want 1", n)
+	}
+	if cancel() {
+		t.Fatal("cancel after the callback ran reported it was prevented")
+	}
+}
+
+func TestArmAlreadySatisfied(t *testing.T) {
+	a := core.New()
+	a.Increment(5)
+	cond := predicate.NewCond(predicate.SumAtLeast(5), a)
+	cancel, armed := cond.Arm(func() { t.Error("callback ran for an immediately-satisfied Arm") })
+	if armed {
+		t.Fatal("Arm on a satisfied predicate reported armed")
+	}
+	if cancel != nil {
+		t.Fatal("Arm on a satisfied predicate returned a cancel")
+	}
+	if !cond.Poll() {
+		t.Fatal("Arm's immediate evaluation did not settle the Cond")
+	}
+}
+
+// TestArmKeepsSentinelsWithoutWaiters is the property the server
+// dispatcher depends on: an armed callback holds the sentinels parked
+// with zero goroutines blocked in Wait.
+func TestArmKeepsSentinelsWithoutWaiters(t *testing.T) {
+	a, b := core.New(), core.New()
+	cond := predicate.NewCond(predicate.Thresholds([]uint64{3, 3}, 2), a, b)
+	done := make(chan struct{})
+	cancel, armed := cond.Arm(func() { close(done) })
+	if !armed {
+		t.Fatal("not armed")
+	}
+	defer cancel()
+	st := cond.Stats()
+	if st.Waiters != 0 || st.Hooks != 1 || st.Armed == 0 {
+		t.Fatalf("stats after Arm = %+v, want 0 waiters, 1 hook, >0 armed sentinels", st)
+	}
+	a.Increment(3)
+	b.Increment(3)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback never ran")
+	}
+}
+
+// TestArmCancelDisarms mirrors TestCancelDisarms for the callback path:
+// cancelling the only armed callback (with no Wait goroutines) must
+// leave the watched counters sentinel-free so Reset works again.
+func TestArmCancelDisarms(t *testing.T) {
+	a := core.New()
+	cond := predicate.NewCond(predicate.SumAtLeast(100), a)
+	cancel, armed := cond.Arm(func() { t.Error("cancelled callback ran") })
+	if !armed {
+		t.Fatal("not armed")
+	}
+	if !cancel() {
+		t.Fatal("cancel of a pending callback reported it already ran")
+	}
+	if cancel() {
+		t.Fatal("second cancel reported it was prevented again")
+	}
+	st := cond.Stats()
+	if st.Armed != 0 || st.Hooks != 0 {
+		t.Fatalf("stats after cancel = %+v, want no armed sentinels, no hooks", st)
+	}
+	if err := a.Reset(); err != nil {
+		t.Fatalf("Reset after Arm cancel: %v", err)
+	}
+	a.Increment(100)
+	time.Sleep(10 * time.Millisecond)
+}
+
+// TestArmManyCallbacksOneClose: N armed callbacks all run on the single
+// satisfying evaluation, interleaved with Wait goroutines.
+func TestArmFanOut(t *testing.T) {
+	a := core.New()
+	cond := predicate.NewCond(predicate.SumAtLeast(1), a)
+	const n = 64
+	var fired atomic.Int32
+	for i := 0; i < n; i++ {
+		if _, armed := cond.Arm(func() { fired.Add(1) }); !armed {
+			t.Fatal("not armed")
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc)
+	a.Increment(1)
+	waitNil(t, errc)
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() != n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := fired.Load(); got != n {
+		t.Fatalf("%d of %d callbacks ran", got, n)
+	}
+}
+
+func TestArmConcurrentCancelAndSatisfy(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		a := core.New()
+		cond := predicate.NewCond(predicate.SumAtLeast(1), a)
+		var fired atomic.Int32
+		cancel, armed := cond.Arm(func() { fired.Add(1) })
+		if !armed {
+			t.Fatal("not armed")
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var prevented atomic.Bool
+		go func() { defer wg.Done(); prevented.Store(cancel()) }()
+		go func() { defer wg.Done(); a.Increment(1) }()
+		wg.Wait()
+		// Exactly one side wins: either the callback was prevented and
+		// never runs, or it runs exactly once.
+		time.Sleep(2 * time.Millisecond)
+		ran := fired.Load()
+		if prevented.Load() && ran != 0 {
+			t.Fatalf("round %d: cancel reported prevented but callback ran %d times", round, ran)
+		}
+		if !prevented.Load() && ran != 1 {
+			t.Fatalf("round %d: cancel lost the race but callback ran %d times", round, ran)
+		}
+	}
+}
+
+// --- External: one remote registration replaces the sentinel set ---------
+
+// fakeHost is an External strategy with scripted behaviour.
+type fakeHost struct {
+	mu      sync.Mutex
+	refuse  bool
+	armCnt  int
+	fire    func(bool)
+	cancels int
+}
+
+func (h *fakeHost) strategy(fire func(bool)) (func() bool, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.armCnt++
+	if h.refuse {
+		return nil, false
+	}
+	h.fire = fire
+	return func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.cancels++
+		prevented := h.fire != nil
+		h.fire = nil
+		return prevented
+	}, true
+}
+
+func (h *fakeHost) fireNow(satisfied bool) bool {
+	h.mu.Lock()
+	fire := h.fire
+	h.fire = nil
+	h.mu.Unlock()
+	if fire == nil {
+		return false
+	}
+	fire(satisfied)
+	return true
+}
+
+func TestExternalAuthoritativeFire(t *testing.T) {
+	// The local counters never move: satisfaction arrives only through
+	// the external registration, standing in for a server whose values
+	// run ahead of the client's watermarks.
+	a, b := core.New(), core.New()
+	host := &fakeHost{}
+	cond := predicate.NewCondExternal(predicate.SumAtLeast(10), host.strategy, a, b)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc)
+	st := cond.Stats()
+	if !st.External {
+		t.Fatalf("stats = %+v, want an armed external registration", st)
+	}
+	if st.Armed != 0 {
+		t.Fatalf("stats = %+v: sentinels armed alongside the external registration", st)
+	}
+	if !host.fireNow(true) {
+		t.Fatal("no registration to fire")
+	}
+	waitNil(t, errc)
+}
+
+func TestExternalLocalSatisfactionFirst(t *testing.T) {
+	// A predicate the local bounds already satisfy settles without ever
+	// consulting the host.
+	a := core.New()
+	a.Increment(7)
+	host := &fakeHost{}
+	cond := predicate.NewCondExternal(predicate.SumAtLeast(5), host.strategy, a)
+	if err := cond.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	if host.armCnt != 0 {
+		t.Fatalf("host consulted %d times for a locally-satisfied predicate", host.armCnt)
+	}
+}
+
+func TestExternalRefusalFallsBackToSentinels(t *testing.T) {
+	a := core.New()
+	host := &fakeHost{refuse: true}
+	cond := predicate.NewCondExternal(predicate.SumAtLeast(3), host.strategy, a)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc)
+	st := cond.Stats()
+	if st.External || st.Armed == 0 {
+		t.Fatalf("stats after refusal = %+v, want sentinels armed, no external", st)
+	}
+	if host.armCnt != 1 {
+		t.Fatalf("host consulted %d times, want exactly 1 (refusal is permanent)", host.armCnt)
+	}
+	a.Increment(3)
+	waitNil(t, errc)
+}
+
+func TestExternalDegradeMidWaitFallsBackToSentinels(t *testing.T) {
+	a := core.New()
+	host := &fakeHost{}
+	cond := predicate.NewCondExternal(predicate.SumAtLeast(3), host.strategy, a)
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc)
+	if !host.fireNow(false) { // registration dies without an answer
+		t.Fatal("no registration to fire")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := cond.Stats(); !st.External && st.Armed > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := cond.Stats(); st.External || st.Armed == 0 {
+		t.Fatalf("stats after degradation = %+v, want sentinels armed, no external", st)
+	}
+	a.Increment(3)
+	waitNil(t, errc)
+	if host.armCnt != 1 {
+		t.Fatalf("host consulted %d times after degradation, want 1", host.armCnt)
+	}
+}
+
+func TestExternalCancelOnLastWaiterOut(t *testing.T) {
+	a := core.New()
+	host := &fakeHost{}
+	cond := predicate.NewCondExternal(predicate.SumAtLeast(3), host.strategy, a)
+	ctx, stop := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(ctx) }()
+	mustBlock(t, errc)
+	stop()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	host.mu.Lock()
+	cancels, live := host.cancels, host.fire != nil
+	host.mu.Unlock()
+	if cancels != 1 || live {
+		t.Fatalf("after last waiter out: cancels = %d, registration live = %v", cancels, live)
+	}
+	// A fresh Wait re-registers with the host.
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc2)
+	if host.armCnt != 2 {
+		t.Fatalf("host consulted %d times after re-wait, want 2", host.armCnt)
+	}
+	host.fireNow(true)
+	waitNil(t, errc2)
+}
+
+// TestExternalStaleFireIgnored pins the generation guard: a cancelled
+// registration's late unsatisfied fire must not tear down the newer
+// registration that replaced it.
+func TestExternalStaleFireIgnored(t *testing.T) {
+	a := core.New()
+	host := &fakeHost{}
+	cond := predicate.NewCondExternal(predicate.SumAtLeast(3), host.strategy, a)
+
+	ctx, stop := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- cond.Wait(ctx) }()
+	mustBlock(t, errc)
+	host.mu.Lock()
+	staleFire := host.fire // captured before cancellation
+	host.mu.Unlock()
+	stop()
+	<-errc
+
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- cond.Wait(context.Background()) }()
+	mustBlock(t, errc2)
+
+	staleFire(false) // the old registration's last breath
+	time.Sleep(10 * time.Millisecond)
+	st := cond.Stats()
+	if !st.External {
+		t.Fatalf("stats after stale fire = %+v, want the new registration still armed", st)
+	}
+	host.fireNow(true)
+	waitNil(t, errc2)
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+
+	"monotonic/internal/predicate"
+	"monotonic/internal/wire"
+)
+
+// Server-side predicate waits: the wire v3 OpWaitFor frame mounts the
+// internal/predicate sentinel engine directly on the hosted counters.
+// One frame parks ONE entry per session predicate — a predicate.Cond
+// armed via Arm (no goroutine) whose sentinels sit at pigeonhole
+// frontiers on the counters' own waitlists, exactly as in-process waits
+// park. A k-of-n quorum that used to cost the client one wire-level
+// wait per watched counter per frontier move now costs one frame out,
+// one wake back, and zero client round trips for every increment that
+// cannot flip the predicate — the server's sentinels absorb them.
+
+// predWait is one parked OpWaitFor registration.
+type predWait struct {
+	id   uint64
+	cond *predicate.Cond // set before publication, read only by the reader goroutine
+	// cancel tears down the armed Cond callback; nil until the handler
+	// finishes arming. dead marks a teardown that raced the arming —
+	// whoever sets cancel second runs it. Both guarded by conn.waitMu.
+	cancel func() bool
+	dead   bool
+}
+
+// handleWaitFor executes one OpWaitFor frame: validate, build the
+// predicate over the hosted counters, and arm a callback that wakes the
+// client when it flips. An already-satisfied predicate wakes
+// immediately without parking anything.
+func (c *conn) handleWaitFor(f *wire.Frame) error {
+	if c.version < 3 {
+		return fmt.Errorf("server: waitfor from protocol v%d client", c.version)
+	}
+	n := len(f.Watch)
+	var pred predicate.Pred
+	switch f.Pred {
+	case wire.PredSum:
+		pred = predicate.SumAtLeast(f.Target)
+	case wire.PredThreshold:
+		if f.K < 1 || f.K > uint64(n) {
+			return fmt.Errorf("server: waitfor threshold k=%d over %d counters", f.K, n)
+		}
+		levels := make([]uint64, n)
+		for i := range f.Watch {
+			levels[i] = f.Watch[i].Level
+		}
+		pred = predicate.Thresholds(levels, int(f.K))
+	default:
+		return fmt.Errorf("server: unknown predicate kind %d", f.Pred)
+	}
+	cs := make([]predicate.Counter, n)
+	for i := range f.Watch {
+		h, err := c.hosted(f.Watch[i].Name)
+		if err != nil {
+			return err
+		}
+		cs[i] = h.c
+	}
+
+	// Publish the entry before arming so a racing teardown can see it;
+	// the id is claimed across both wait tables.
+	cond := predicate.NewCond(pred, cs...)
+	pw := &predWait{id: f.ID, cond: cond}
+	c.waitMu.Lock()
+	_, dupW := c.waits[f.ID]
+	_, dupP := c.predWaits[f.ID]
+	if dupW || dupP {
+		c.waitMu.Unlock()
+		return fmt.Errorf("server: duplicate wait id %d", f.ID)
+	}
+	c.predWaits[f.ID] = pw
+	c.waitMu.Unlock()
+
+	id := f.ID
+	cancel, armed := cond.Arm(func() {
+		// Runs under the Cond's lock on the satisfying goroutine: drop
+		// the entry and enqueue the wake — both leaf locks, no blocking.
+		c.waitMu.Lock()
+		delete(c.predWaits, id)
+		c.waitMu.Unlock()
+		c.send(&wire.Frame{Op: wire.OpWake, ID: id})
+	})
+	if !armed {
+		// Already satisfied: answer straight away, nothing parks.
+		c.waitMu.Lock()
+		delete(c.predWaits, id)
+		c.waitMu.Unlock()
+		c.send(&wire.Frame{Op: wire.OpWake, ID: id})
+		return nil
+	}
+	c.waitMu.Lock()
+	if pw.dead {
+		// Teardown swept the table between publish and arm: unwind.
+		c.waitMu.Unlock()
+		cancel()
+		return nil
+	}
+	pw.cancel = cancel
+	c.waitMu.Unlock()
+	return nil
+}
+
+// handleWaitForCancel executes one OpWaitForCancel frame. Satisfied
+// beats cancelled on the wire exactly as in-process: if the wake
+// already fired (or fires while we race), the client gets OpWake, not
+// OpCancelled, and treats its predicate as satisfied.
+func (c *conn) handleWaitForCancel(f *wire.Frame) error {
+	c.waitMu.Lock()
+	pw := c.predWaits[f.ID]
+	var cancel func() bool
+	if pw != nil {
+		cancel = pw.cancel
+	}
+	c.waitMu.Unlock()
+	if pw == nil || cancel == nil {
+		return nil // already resolved; the wake frame answers the race
+	}
+	// Satisfied beats cancelled, evaluated NOW: this connection's
+	// increments are applied in frame order, so a pipelined
+	// increment-then-cancel sees the flip here even while the sentinel
+	// kick is still in flight. Poll settles the Cond, which runs the
+	// armed callback and enqueues the wake.
+	if pw.cond.Poll() {
+		return nil
+	}
+	if cancel() {
+		c.waitMu.Lock()
+		delete(c.predWaits, f.ID)
+		c.waitMu.Unlock()
+		c.send(&wire.Frame{Op: wire.OpCancelled, ID: f.ID})
+	}
+	return nil
+}
+
+// dropPredWaits cancels every parked predicate wait during connection
+// teardown. Called with no locks held; entries still mid-arming are
+// marked dead so the arming handler unwinds them itself.
+func (c *conn) dropPredWaits() {
+	c.waitMu.Lock()
+	pending := make([]*predWait, 0, len(c.predWaits))
+	for _, pw := range c.predWaits {
+		pw.dead = true
+		pending = append(pending, pw)
+	}
+	c.predWaits = make(map[uint64]*predWait)
+	c.waitMu.Unlock()
+	for _, pw := range pending {
+		if pw.cancel != nil {
+			pw.cancel()
+		}
+	}
+}
+
+// PredicateWaits returns the number of predicate waits currently parked
+// across all connections — the "one entry per session predicate" bound
+// E27 and the countertest battery assert at run time.
+func (s *Server) PredicateWaits() int {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, c := range conns {
+		c.waitMu.Lock()
+		n += len(c.predWaits)
+		c.waitMu.Unlock()
+	}
+	return n
+}

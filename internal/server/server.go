@@ -17,6 +17,14 @@
 // A fan-out of N remote waiters on C connections therefore costs the
 // server 2C+1 long-lived goroutines plus at most one per busy counter,
 // independent of N — experiment E22 asserts exactly this bound.
+//
+// Wire v3 adds server-side predicate waits (predwait.go): an OpWaitFor
+// frame parks one predicate.Cond entry per session predicate, armed via
+// the engine's goroutine-free callback hook, with sentinels at
+// pigeonhole frontiers on the hosted counters — a quorum over N
+// counters costs one parked entry and zero client round trips per
+// non-flipping increment (experiment E27 asserts both bounds). v2
+// clients still connect and evaluate predicates client-side.
 package server
 
 import (
@@ -113,6 +121,7 @@ func (s *Server) Serve(lis net.Listener) error {
 		c := &conn{srv: s, nc: nc}
 		c.wcond = sync.NewCond(&c.wmu)
 		c.waits = make(map[uint64]*waiter)
+		c.predWaits = make(map[uint64]*predWait)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -221,12 +230,20 @@ type conn struct {
 	wq      []byte
 	wclosed bool
 
+	// version is the protocol dialect this connection negotiated at
+	// Hello — the client's version, anywhere in [wire.MinVersion,
+	// wire.Version]. Written once by the reader goroutine and only read
+	// on frame-handling paths, so it needs no lock.
+	version uint64
+
 	// waits indexes this connection's unresolved waiters by client-
-	// chosen id. Guarded by waitMu; never hold waitMu while calling
-	// into a dispatcher (the dispatcher's drain path locks in the other
-	// order).
-	waitMu sync.Mutex
-	waits  map[uint64]*waiter
+	// chosen id; predWaits does the same for parked OpWaitFor predicate
+	// registrations (predwait.go). Both guarded by waitMu; never hold
+	// waitMu while calling into a dispatcher (the dispatcher's drain
+	// path locks in the other order).
+	waitMu    sync.Mutex
+	waits     map[uint64]*waiter
+	predWaits map[uint64]*predWait
 
 	ackedSeq  uint64 // highest seq this conn has acked
 	unacked   int    // increments applied since the last ack
@@ -322,16 +339,26 @@ func (c *conn) handle(f *wire.Frame) error {
 	}
 	switch f.Op {
 	case wire.OpHello:
-		if f.Seq != wire.Version {
-			return fmt.Errorf("server: protocol version %d, want %d", f.Seq, wire.Version)
+		// Negotiation, not rejection: any dialect in [MinVersion,
+		// Version] is served. The Welcome advertises feature bits only
+		// to v3+ clients — a v2 Welcome stays byte-identical to what a
+		// v2 server sends, so old decoders never see trailing bytes.
+		if f.Seq < wire.MinVersion || f.Seq > wire.Version {
+			return fmt.Errorf("server: protocol version %d, want %d..%d",
+				f.Seq, wire.MinVersion, wire.Version)
 		}
+		c.version = f.Seq
 		id, sess := c.srv.session(f.Session)
 		c.sess = sess
 		sess.mu.Lock()
 		last := sess.lastSeq
 		sess.mu.Unlock()
 		c.ackedSeq = last
-		c.send(&wire.Frame{Op: wire.OpWelcome, Session: id, Seq: last, Epoch: c.srv.epoch})
+		var feat uint64
+		if c.version >= 3 {
+			feat = wire.FeatureWaitFor
+		}
+		c.send(&wire.Frame{Op: wire.OpWelcome, Session: id, Seq: last, Epoch: c.srv.epoch, Features: feat})
 
 	case wire.OpIncrement:
 		h, err := c.hosted(f.Name)
@@ -382,6 +409,12 @@ func (c *conn) handle(f *wire.Frame) error {
 			c.waitMu.Unlock()
 			c.send(&wire.Frame{Op: wire.OpCancelled, ID: f.ID})
 		}
+
+	case wire.OpWaitFor:
+		return c.handleWaitFor(f)
+
+	case wire.OpWaitForCancel:
+		return c.handleWaitForCancel(f)
 
 	case wire.OpReset:
 		h, err := c.hosted(f.Name)
@@ -460,6 +493,7 @@ func (c *conn) teardown() {
 		for _, w := range pending {
 			w.host.d.remove(w)
 		}
+		c.dropPredWaits()
 		c.srv.mu.Lock()
 		delete(c.srv.conns, c)
 		c.srv.mu.Unlock()

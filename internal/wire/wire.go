@@ -2,7 +2,9 @@
 // server (internal/server) and the remote counter client
 // (counter/remote). It is deliberately tiny and stdlib-only: every
 // message is one length-prefixed frame, and the whole vocabulary is the
-// counter interface itself (Increment/Check/Cancel/Reset/Stats) plus the
+// counter interface itself (Increment/Check/Cancel/Reset/Stats), the
+// multi-counter predicate waits the v3 dialect adds (WaitFor /
+// WaitForCancel — see counter/wait for the predicate model), and the
 // session handshake that makes reconnects retry-safe.
 //
 // # Framing
@@ -37,19 +39,54 @@ import (
 	"io"
 )
 
-// Version is the protocol version carried in Hello; the server rejects
-// frames it cannot parse rather than negotiating, so bumping this is a
-// breaking change. Version 2 added the boot Epoch to Welcome (node
-// identity for the cluster layer's restart detection).
-const Version = 2
+// Version is the protocol version this package speaks natively, carried
+// in Hello. Version 2 added the boot Epoch to Welcome (node identity for
+// the cluster layer's restart detection). Version 3 added version
+// NEGOTIATION in place of version rejection — the server accepts any
+// version in [MinVersion, Version] and answers in the client's dialect —
+// plus the Features bits in the v3 Welcome and the multi-counter
+// predicate wait frames (OpWaitFor / OpWaitForCancel).
+const Version = 3
+
+// MinVersion is the oldest client dialect a v3 server still serves: a
+// v2 client gets a v2-shaped Welcome (no Features field) and simply
+// never sends the v3 opcodes — its predicate waits stay client-side.
+const MinVersion = 2
+
+// Feature bits carried in the v3 Welcome. A client uses a capability
+// only when the serving instance advertised it, so a mixed-version
+// deployment degrades to the v2 behavior instead of desynchronizing.
+const (
+	// FeatureWaitFor: the server evaluates monotone multi-counter
+	// predicates in-process (OpWaitFor / OpWaitForCancel).
+	FeatureWaitFor uint64 = 1 << 0
+)
 
 // MaxFrame bounds a frame's payload, protecting both sides from a
 // corrupt or hostile length prefix. Counter names are the only variable
-// sized field, so frames are tiny; 64 KiB is generous.
+// sized field, so frames are tiny; 64 KiB is generous (a maximal
+// OpWaitFor — MaxWatch names of MaxName bytes — still fits in a third
+// of it).
 const MaxFrame = 64 << 10
 
 // MaxName bounds a counter name.
 const MaxName = 256
+
+// MaxWatch bounds the number of counters one OpWaitFor frame may watch.
+const MaxWatch = 64
+
+// Predicate kinds carried by OpWaitFor. They mirror the two predicate
+// shapes internal/predicate exposes — every counter/wait combinator
+// lowers to one of them.
+const (
+	// PredSum: the watched counters' values sum to at least Target.
+	// Watch levels are unused (zero).
+	PredSum uint64 = 1
+	// PredThreshold: at least K of the watched counters have reached
+	// their own Watch level — min (K = n), any (K = 1), and quorum in
+	// one shape. Target is unused (zero).
+	PredThreshold uint64 = 2
+)
 
 // Op identifies a frame's meaning.
 type Op uint8
@@ -80,6 +117,19 @@ const (
 	// OpStats requests the named counter's engine stats; reply is
 	// OpStatsReply{ID, Stats}.
 	OpStats Op = 0x06
+	// OpWaitFor (v3) registers a multi-counter predicate wait: the
+	// server evaluates the monotone predicate (Pred kind, K/Target,
+	// Watch set) against its hosted counters and replies OpWake{ID}
+	// once — and only once — it holds. One frame parks one server-side
+	// entry regardless of how many goroutines share the client-side
+	// condition, and a hosted increment that cannot flip the predicate
+	// sends the client nothing.
+	OpWaitFor Op = 0x07
+	// OpWaitForCancel (v3) deregisters the predicate wait with ID. The
+	// server replies OpCancelled{ID} if the wait was still pending; if
+	// the wake is already in flight it stays silent — same race rule as
+	// OpCancel.
+	OpWaitForCancel Op = 0x08
 )
 
 // Server-to-client opcodes.
@@ -125,6 +175,10 @@ func (o Op) String() string {
 		return "reset"
 	case OpStats:
 		return "stats"
+	case OpWaitFor:
+		return "waitfor"
+	case OpWaitForCancel:
+		return "waitforcancel"
 	case OpWelcome:
 		return "welcome"
 	case OpWake:
@@ -168,20 +222,33 @@ func (s *Stats) fields() [10]*uint64 {
 	}
 }
 
+// Watch is one watched coordinate of an OpWaitFor predicate: a hosted
+// counter name plus its per-counter level (the threshold for
+// PredThreshold; unused for PredSum).
+type Watch struct {
+	Name  string
+	Level uint64
+}
+
 // Frame is one decoded protocol message. Only the fields meaningful for
 // Op are set; see the opcode docs for which those are. Using one struct
 // for the whole vocabulary keeps the reader loops a single switch.
 type Frame struct {
-	Op      Op
-	Name    string // counter name (Increment, Check, Reset, Stats)
-	Session uint64 // Hello, Welcome
-	Epoch   uint64 // Welcome: the server instance's boot epoch (node identity)
-	Seq     uint64 // Increment/IncAck sequence; Hello version; Welcome last applied seq
-	ID      uint64 // wait id (Check/Cancel/Wake/Cancelled) or request id (Reset/Stats and replies)
-	Level   uint64 // Check level; Wake satisfied level
-	Amount  uint64 // Increment amount
-	Msg     string // Error message
-	Stats   Stats  // StatsReply
+	Op       Op
+	Name     string  // counter name (Increment, Check, Reset, Stats)
+	Session  uint64  // Hello, Welcome
+	Epoch    uint64  // Welcome: the server instance's boot epoch (node identity)
+	Seq      uint64  // Increment/IncAck sequence; Hello version; Welcome last applied seq
+	ID       uint64  // wait id (Check/Cancel/WaitFor*/Wake/Cancelled) or request id (Reset/Stats and replies)
+	Level    uint64  // Check level; Wake satisfied level (zero for predicate wakes)
+	Amount   uint64  // Increment amount
+	Msg      string  // Error message
+	Stats    Stats   // StatsReply
+	Features uint64  // Welcome (v3 only): the server's feature bits
+	Pred     uint64  // WaitFor: predicate kind (PredSum, PredThreshold)
+	K        uint64  // WaitFor: quorum count (PredThreshold)
+	Target   uint64  // WaitFor: sum target (PredSum)
+	Watch    []Watch // WaitFor: the watched counters, in coordinate order
 }
 
 // ErrFrameTooLarge is returned for length prefixes beyond MaxFrame.
@@ -214,6 +281,26 @@ func Append(buf []byte, f *Frame) []byte {
 		buf = appendUint(buf, f.Session)
 		buf = appendUint(buf, f.Seq)
 		buf = appendUint(buf, f.Epoch)
+		// The Features field exists only in the v3 dialect. The server
+		// answers a v2 Hello with Features == 0, which elides the field
+		// and yields exactly the v2 frame a v2 decoder expects (it would
+		// reject trailing bytes); a v3 server always advertises at least
+		// one bit, so v3 clients always see the field.
+		if f.Features != 0 {
+			buf = appendUint(buf, f.Features)
+		}
+	case OpWaitFor:
+		buf = appendUint(buf, f.ID)
+		buf = appendUint(buf, f.Pred)
+		buf = appendUint(buf, f.K)
+		buf = appendUint(buf, f.Target)
+		buf = appendUint(buf, uint64(len(f.Watch)))
+		for _, w := range f.Watch {
+			buf = appendString(buf, w.Name)
+			buf = appendUint(buf, w.Level)
+		}
+	case OpWaitForCancel:
+		buf = appendUint(buf, f.ID)
 	case OpWake:
 		buf = appendUint(buf, f.ID)
 		buf = appendUint(buf, f.Level)
@@ -277,6 +364,25 @@ func Decode(payload []byte) (Frame, error) {
 		f.Name, f.ID = d.string(), d.uint()
 	case OpWelcome:
 		f.Session, f.Seq, f.Epoch = d.uint(), d.uint(), d.uint()
+		// Features is optional: a v2 server's Welcome ends at Epoch, a
+		// v3 server's carries the bits. One decoder serves both dialects.
+		if len(d.buf) != 0 {
+			f.Features = d.uint()
+		}
+	case OpWaitFor:
+		f.ID, f.Pred, f.K, f.Target = d.uint(), d.uint(), d.uint(), d.uint()
+		n := d.uint()
+		if d.err == nil && (n == 0 || n > MaxWatch) {
+			return Frame{}, fmt.Errorf("wire: waitfor frame watches %d counters (want 1..%d)", n, MaxWatch)
+		}
+		if d.err == nil {
+			f.Watch = make([]Watch, n)
+			for i := range f.Watch {
+				f.Watch[i].Name, f.Watch[i].Level = d.string(), d.uint()
+			}
+		}
+	case OpWaitForCancel:
+		f.ID = d.uint()
 	case OpWake:
 		f.ID, f.Level = d.uint(), d.uint()
 	case OpCancelled, OpResetOK:

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -23,6 +24,15 @@ func sampleFrames() []Frame {
 		{Op: OpStats, Name: "phase", ID: 12},
 		{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 0xdeadbeef},
 		{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 0},
+		{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 0xdeadbeef, Features: FeatureWaitFor},
+		{Op: OpWaitFor, ID: 13, Pred: PredSum, Target: 1 << 50, Watch: []Watch{
+			{Name: "a"}, {Name: "b"},
+		}},
+		{Op: OpWaitFor, ID: 14, Pred: PredThreshold, K: 3, Watch: []Watch{
+			{Name: "q0", Level: 7}, {Name: "q1", Level: 7}, {Name: "q2", Level: 9},
+			{Name: "q3", Level: ^uint64(0)}, {Name: "q4", Level: 1},
+		}},
+		{Op: OpWaitForCancel, ID: 14},
 		{Op: OpWake, ID: 9, Level: 1 << 40},
 		{Op: OpCancelled, ID: 9},
 		{Op: OpIncAck, Seq: 42},
@@ -43,7 +53,7 @@ func TestRoundTripEveryOpcode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: Read: %v", f.Op, err)
 		}
-		if got != f {
+		if !reflect.DeepEqual(got, f) {
 			t.Errorf("%s: round trip = %+v, want %+v", f.Op, got, f)
 		}
 	}
@@ -64,7 +74,7 @@ func TestBatchedFrames(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
 		}
 	}
@@ -117,5 +127,66 @@ func TestOverlongNameRejected(t *testing.T) {
 	buf := Append(nil, &f)
 	if _, err := Decode(buf[4:]); err == nil {
 		t.Fatal("overlong name decoded successfully")
+	}
+}
+
+// TestWelcomeDialects pins the negotiation contract at the byte level:
+// a Welcome with Features == 0 is byte-identical to the v2 frame (so a
+// true v2 decoder, which rejects trailing bytes, accepts it), and a v3
+// Welcome's Features survive the round trip while a v2 one's decode to
+// zero.
+func TestWelcomeDialects(t *testing.T) {
+	v2 := Append(nil, &Frame{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 99})
+	v3 := Append(nil, &Frame{Op: OpWelcome, Session: 5, Seq: 40, Epoch: 99, Features: FeatureWaitFor})
+	if !bytes.Equal(v2[4:], v3[4:len(v3)-1]) {
+		t.Fatalf("v3 welcome payload is not the v2 payload plus one feature byte:\nv2 %x\nv3 %x", v2, v3)
+	}
+	got, err := Decode(v2[4:])
+	if err != nil {
+		t.Fatalf("v2 welcome: %v", err)
+	}
+	if got.Features != 0 {
+		t.Fatalf("v2 welcome decoded Features = %d, want 0", got.Features)
+	}
+	got, err = Decode(v3[4:])
+	if err != nil {
+		t.Fatalf("v3 welcome: %v", err)
+	}
+	if got.Features != FeatureWaitFor {
+		t.Fatalf("v3 welcome decoded Features = %d, want %d", got.Features, FeatureWaitFor)
+	}
+}
+
+// TestWaitForWatchBounds rejects empty and oversized watch sets at the
+// decode boundary, before any server logic sees them.
+func TestWaitForWatchBounds(t *testing.T) {
+	over := make([]Watch, MaxWatch+1)
+	for i := range over {
+		over[i] = Watch{Name: "c", Level: 1}
+	}
+	f := Frame{Op: OpWaitFor, ID: 1, Pred: PredThreshold, K: 1, Watch: over}
+	if _, err := Decode(Append(nil, &f)[4:]); err == nil {
+		t.Fatalf("waitfor watching %d counters decoded successfully", len(over))
+	}
+	f.Watch = nil
+	if _, err := Decode(Append(nil, &f)[4:]); err == nil {
+		t.Fatal("waitfor watching zero counters decoded successfully")
+	}
+}
+
+// TestWaitForTruncation cuts a maximal predicate frame at every byte.
+func TestWaitForTruncation(t *testing.T) {
+	f := Frame{Op: OpWaitFor, ID: 1 << 40, Pred: PredThreshold, K: 2, Watch: []Watch{
+		{Name: "alpha", Level: 300}, {Name: "beta", Level: 1 << 33}, {Name: "gamma", Level: 1},
+	}}
+	buf := Append(nil, &f)
+	for cut := 1; cut < len(buf); cut++ {
+		_, err := Read(bufio.NewReader(bytes.NewReader(buf[:cut])))
+		if err == nil {
+			t.Fatalf("cut at %d/%d decoded successfully", cut, len(buf))
+		}
+		if err == io.EOF {
+			t.Fatalf("cut at %d/%d reported clean EOF", cut, len(buf))
+		}
 	}
 }
